@@ -1,0 +1,92 @@
+//! Criterion end-to-end benchmarks: wall-clock cost of simulating whole
+//! P2P-LTR workflows (ring construction, publish cycles, retrieval). These
+//! measure the *implementation's* processing cost; the protocol-level
+//! response times (simulated milliseconds) are reported by the `exp_*`
+//! binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use p2p_ltr::harness::LtrNet;
+use p2p_ltr::LtrConfig;
+use simnet::{Duration, NetConfig};
+
+fn settled(seed: u64, n: usize) -> LtrNet {
+    let mut net = LtrNet::build(
+        seed,
+        NetConfig::lan(),
+        n,
+        LtrConfig::default(),
+        Duration::from_millis(100),
+    );
+    net.settle(20);
+    net
+}
+
+fn bench_ring_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim");
+    g.sample_size(10);
+    g.bench_function("build_and_stabilize_16_peers", |b| {
+        b.iter(|| settled(1, 16));
+    });
+    g.finish();
+}
+
+fn bench_publish_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim");
+    g.sample_size(10);
+    g.bench_function("publish_cycle_8_peers", |b| {
+        b.iter_with_setup(
+            || {
+                let mut net = settled(2, 8);
+                let peers = net.peers.clone();
+                net.open_doc(&peers, "doc", "seed");
+                net.settle(1);
+                net
+            },
+            |mut net| {
+                let editor = net.peers[0];
+                net.edit(editor, "doc", "seed\nedited");
+                net.run_until_quiet(&["doc"], 30);
+                net
+            },
+        );
+    });
+    g.finish();
+}
+
+fn bench_retrieval_catchup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim");
+    g.sample_size(10);
+    g.bench_function("late_reader_catchup_20_patches", |b| {
+        b.iter_with_setup(
+            || {
+                let mut net = settled(3, 10);
+                let editor = net.peers[0];
+                net.open_doc(&[editor], "doc", "seed");
+                net.settle(1);
+                for i in 0..20 {
+                    let cur = net.node(editor).doc_text("doc").unwrap();
+                    net.edit(editor, "doc", &format!("{cur}\np{i}"));
+                    net.run_until_quiet(&["doc"], 30);
+                }
+                net
+            },
+            |mut net| {
+                let reader = net.peers[1];
+                net.open_doc(&[reader], "doc", "seed");
+                net.settle(10);
+                assert_eq!(net.node(reader).doc_ts("doc"), Some(20));
+                net
+            },
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ring_construction,
+    bench_publish_cycle,
+    bench_retrieval_catchup
+);
+criterion_main!(benches);

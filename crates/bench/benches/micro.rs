@@ -1,0 +1,142 @@
+//! Criterion micro-benchmarks of the computational substrates: hashing,
+//! ring arithmetic, OT transformation, diffing, codecs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use bytes::Bytes;
+use chord::sha1::{sha1, sha1_u64};
+use chord::Id;
+use ot::{decode_patch, diff, encode_patch, transform_seqs, Document, Patch, TextOp};
+use p2plog::{LogRecord, Retriever};
+
+fn bench_sha1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha1");
+    for size in [64usize, 1024, 16384] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("digest_{size}B"), |b| {
+            b.iter(|| sha1(black_box(&data)))
+        });
+    }
+    g.bench_function("id_hash_docname", |b| {
+        b.iter(|| sha1_u64(black_box(b"wiki/Main/Some/Long/Page/Name")))
+    });
+    g.finish();
+}
+
+fn bench_id_math(c: &mut Criterion) {
+    let a = Id(0x1234_5678_9abc_def0);
+    let lo = Id(0x1111_1111_1111_1111);
+    let hi = Id(0xeeee_eeee_eeee_eeee);
+    c.bench_function("id_in_half_open", |b| {
+        b.iter(|| black_box(a).in_half_open(black_box(lo), black_box(hi)))
+    });
+    c.bench_function("log_locations_n3", |b| {
+        b.iter(|| p2plog::log_locations(3, black_box("wiki/Main"), black_box(42)))
+    });
+}
+
+fn make_doc(lines: usize) -> Document {
+    Document::from_lines((0..lines).map(|i| format!("line number {i}")).collect())
+}
+
+fn bench_ot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ot");
+    // Transform two 20-op concurrent patches.
+    let base = make_doc(100);
+    let mk_ops = |site: u64| -> Vec<TextOp> {
+        let mut d = base.clone();
+        let mut ops = Vec::new();
+        for i in 0..20 {
+            let op = TextOp::ins((i * 3) % (d.len() + 1), format!("s{site}-{i}"), site);
+            d.apply(&op).unwrap();
+            ops.push(op);
+        }
+        ops
+    };
+    let a = mk_ops(1);
+    let b2 = mk_ops(2);
+    g.bench_function("transform_seqs_20x20", |bch| {
+        bch.iter(|| transform_seqs(black_box(&a), black_box(&b2)))
+    });
+
+    // Diff with a localized edit in a 1000-line document.
+    let old = make_doc(1000);
+    let mut new_lines = old.lines().to_vec();
+    new_lines[500] = "edited line".to_string();
+    new_lines.insert(501, "inserted line".to_string());
+    let new = Document::from_lines(new_lines);
+    g.bench_function("diff_1000_lines_local_edit", |bch| {
+        bch.iter(|| diff(black_box(&old), black_box(&new), 1))
+    });
+
+    // Apply a 50-op patch.
+    let ops: Vec<TextOp> = (0..50)
+        .map(|i| TextOp::ins(i, format!("l{i}"), 1))
+        .collect();
+    g.bench_function("apply_50_ops", |bch| {
+        bch.iter_batched(
+            Document::new,
+            |mut d| {
+                d.apply_all(black_box(&ops)).unwrap();
+                d
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let patch = Patch::new(
+        7,
+        (0..30)
+            .map(|i| TextOp::ins(i, format!("content line {i}"), 7))
+            .collect(),
+    );
+    let encoded = encode_patch(&patch);
+    c.bench_function("encode_patch_30_ops", |b| {
+        b.iter(|| encode_patch(black_box(&patch)))
+    });
+    c.bench_function("decode_patch_30_ops", |b| {
+        b.iter(|| decode_patch(black_box(&encoded)).unwrap())
+    });
+
+    let rec = LogRecord::new("wiki/Main", 42, 7, Bytes::from(encoded.clone()));
+    let rec_bytes = rec.encode();
+    c.bench_function("log_record_encode", |b| b.iter(|| rec.encode()));
+    c.bench_function("log_record_decode_verify", |b| {
+        b.iter(|| LogRecord::decode(black_box(&rec_bytes)).unwrap())
+    });
+}
+
+fn bench_retriever(c: &mut Criterion) {
+    // Pure state-machine cost of a 100-ts retrieval (no network).
+    let payload = Bytes::from_static(b"some record bytes");
+    c.bench_function("retriever_100_ts_in_order", |b| {
+        b.iter_batched(
+            || Retriever::new("doc", 0, 100, 3, 8),
+            |mut r| {
+                let mut pending: Vec<p2plog::FetchCmd> = r.start();
+                while let Some(cmd) = pending.pop() {
+                    let (more, _ev) =
+                        r.on_fetch_result(cmd.ts, cmd.hash_idx, Some(payload.clone()));
+                    pending.extend(more);
+                }
+                r
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sha1,
+    bench_id_math,
+    bench_ot,
+    bench_codecs,
+    bench_retriever
+);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! **Experiment F3 — Figure 3 / the prototype's monitoring interface.**
+//!
+//! The paper's GUI "enables the user to manage the DHT network …
+//! store/retrieve data in/from the DHT, monitor the data stored at each
+//! peer, the keys for which the peer has generated a timestamp, etc."
+//! This binary regenerates that view as a dashboard table after a short
+//! editing session.
+//!
+//! Run: `cargo run -p ltr-bench --release --bin exp_f3`
+
+use ltr_bench::{print_invariants, print_table, settled_net};
+use p2p_ltr::report::{network_report, summarize};
+use p2p_ltr::LtrConfig;
+use simnet::{Duration, NetConfig};
+use workload::{drive_editors, EditMix, EditorSpec};
+
+fn main() {
+    let mut net = settled_net(0xF3, NetConfig::lan(), 12, LtrConfig::default());
+    let peers = net.peers.clone();
+    let docs: Vec<String> = (0..8).map(|i| format!("wiki/page-{i}")).collect();
+    for d in &docs {
+        net.open_doc(&peers[..4], d, "seed");
+    }
+    net.settle(2);
+    let horizon = net.now() + Duration::from_secs(12);
+    drive_editors(
+        &mut net.sim,
+        &peers[..4],
+        &EditorSpec {
+            docs: docs.clone(),
+            zipf_skew: 0.5,
+            mean_think: Duration::from_millis(500),
+            mix: EditMix::default(),
+            horizon,
+        },
+        0xF3F3,
+    );
+    net.settle(18);
+    let doc_refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+    net.run_until_quiet(&doc_refs, 120);
+    net.settle(10);
+
+    // The per-peer monitoring table (Figure 3's main panel).
+    let reports = network_report(&net.sim);
+    let rows: Vec<Vec<String>> = reports
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.me.addr),
+                format!("{}", r.me.id),
+                r.predecessor
+                    .map(|p| format!("{}", p.addr))
+                    .unwrap_or_else(|| "-".into()),
+                format!("{}", r.successor.addr),
+                format!("{}/{}", r.succ_list_len, r.fingers_filled),
+                format!("{}p/{}r", r.primary_items, r.replica_items),
+                r.mastered.len().to_string(),
+                r.ts_backups.to_string(),
+                r.grants.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "F3: per-peer monitoring view (Figure 3's GUI as a table)",
+        &[
+            "peer",
+            "ring id",
+            "pred",
+            "succ",
+            "succs/fingers",
+            "stored items",
+            "keys mastered",
+            "ts backups",
+            "grants",
+        ],
+        &rows,
+    );
+    let s = summarize(&reports);
+    println!(
+        "\nnetwork: {} peers | {} primary + {} replica items | {} keys over {} masters | {} grants",
+        s.peers, s.primary_items, s.replica_items, s.mastered_keys, s.active_masters, s.grants
+    );
+    print_invariants(&net);
+}

@@ -1,0 +1,92 @@
+//! **Experiment F4 — Figure 4 / "Timestamp generation" scenario.**
+//!
+//! Shows that "the responsibility for the continuous timestamp generation is
+//! distributed over all peers of the DHT, i.e. each Master-key peer is
+//! responsible for timestamping a subset of the documents", and reproduces
+//! Figure 4's per-master view of keys and valid timestamps.
+//!
+//! Run: `cargo run -p ltr-bench --release --bin exp_f4`
+
+use ltr_bench::{print_invariants, print_table, settled_net};
+use workload::{drive_editors, EditMix, EditorSpec};
+use p2p_ltr::LtrConfig;
+use simnet::{Duration, NetConfig};
+
+fn main() {
+    let peers_n = 32;
+    let docs_n = 64;
+    let editors_n = 8;
+
+    let mut net = settled_net(0xF4, NetConfig::lan(), peers_n, LtrConfig::default());
+    let peers = net.peers.clone();
+    let docs: Vec<String> = (0..docs_n).map(|i| format!("wiki/page-{i}")).collect();
+    for d in &docs {
+        net.open_doc(&peers[..editors_n], d, "seed");
+    }
+    net.settle(2);
+
+    let horizon = net.now() + Duration::from_secs(20);
+    drive_editors(
+        &mut net.sim,
+        &peers[..editors_n],
+        &EditorSpec {
+            docs: docs.clone(),
+            zipf_skew: 0.0,
+            mean_think: Duration::from_millis(400),
+            mix: EditMix::default(),
+            horizon,
+        },
+        0xF4F4,
+    );
+    net.settle(25);
+    let doc_refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+    net.run_until_quiet(&doc_refs, 120);
+    net.settle(10);
+
+    // Figure 4: per-master table of (keys mastered, grants, sample last-ts).
+    let mut rows = Vec::new();
+    let mut master_counts = Vec::new();
+    for p in net.alive_peers() {
+        let node = net.node(p);
+        let mastered = node.kts().mastered_keys();
+        let grants = node.grants().len();
+        if mastered.is_empty() && grants == 0 {
+            continue;
+        }
+        master_counts.push(mastered.len());
+        let sample: Vec<String> = mastered
+            .iter()
+            .take(3)
+            .map(|(k, ts)| format!("{k}→ts{ts}"))
+            .collect();
+        rows.push(vec![
+            format!("{}", p.addr),
+            format!("{}", p.id),
+            mastered.len().to_string(),
+            grants.to_string(),
+            node.kts().backup_count().to_string(),
+            sample.join(" "),
+        ]);
+    }
+    rows.sort_by(|a, b| b[2].parse::<usize>().unwrap().cmp(&a[2].parse().unwrap()));
+    print_table(
+        "F4: Master-key responsibility per peer (Figure 4)",
+        &["peer", "ring id", "keys mastered", "grants", "succ backups", "sample last-ts"],
+        &rows,
+    );
+
+    let masters = master_counts.len();
+    let max = master_counts.iter().max().copied().unwrap_or(0);
+    let min_nonzero = master_counts.iter().min().copied().unwrap_or(0);
+    let mean = docs_n as f64 / peers_n as f64;
+    println!(
+        "\nbalance: {docs_n} documents over {peers_n} peers → {masters} distinct masters; \
+         keys/master min={min_nonzero} max={max} (uniform expectation {mean:.1})"
+    );
+    println!(
+        "edits issued: {}, timestamps granted: {}",
+        net.sim.metrics().counter("workload.edits_issued"),
+        net.sim.metrics().counter("kts.grants"),
+    );
+    print_invariants(&net);
+}

@@ -1,0 +1,74 @@
+//! **Experiment P1 — response time vs. network size.**
+//!
+//! The paper's prototype "checks the correctness and response times of
+//! P2P-LTR" while letting the operator "specify the number of peers". This
+//! sweep measures the end-to-end publish response time (save → validated
+//! ack) and its components as the DHT grows: routing hops grow O(log N), so
+//! response time should too.
+//!
+//! Run: `cargo run -p ltr-bench --release --bin exp_p1`
+
+use ltr_bench::{fmt_latency, ok, print_table, settled_net};
+use workload::{drive_editors, EditMix, EditorSpec};
+use p2p_ltr::{check_continuity, check_convergence, LtrConfig};
+use simnet::{Duration, NetConfig};
+
+fn main() {
+    let sizes = [8usize, 16, 32, 64, 128];
+    let mut rows = Vec::new();
+    for (i, &n) in sizes.iter().enumerate() {
+        let mut net = settled_net(0x9100 + i as u64, NetConfig::lan(), n, LtrConfig::default());
+        let peers = net.peers.clone();
+        let docs: Vec<String> = (0..8).map(|d| format!("doc-{d}")).collect();
+        for d in &docs {
+            net.open_doc(&peers[..4], d, "seed");
+        }
+        net.settle(2);
+        let horizon = net.now() + Duration::from_secs(20);
+        drive_editors(
+            &mut net.sim,
+            &peers[..4],
+            &EditorSpec {
+                docs: docs.clone(),
+                zipf_skew: 0.0,
+                mean_think: Duration::from_millis(500),
+                mix: EditMix::default(),
+                horizon,
+            },
+            0x91AB,
+        );
+        net.settle(25);
+        let doc_refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        net.run_until_quiet(&doc_refs, 120);
+        net.settle(10);
+
+        let lat = net.sim.metrics().summary("ltr.publish_latency_ms");
+        let hops = net.sim.metrics().summary("chord.lookup_hops");
+        let cont = check_continuity(&net.sim);
+        let conv = check_convergence(&net.sim);
+        rows.push(vec![
+            n.to_string(),
+            net.sim.metrics().counter("kts.grants").to_string(),
+            fmt_latency(&lat),
+            format!("{:.2}", hops.mean),
+            ok(cont.is_clean()),
+            ok(conv.is_converged()),
+        ]);
+    }
+    print_table(
+        "P1: publish response time vs. network size (LAN, 4 editors, 8 docs)",
+        &[
+            "peers",
+            "grants",
+            "publish ms (mean/p95/p99)",
+            "mean lookup hops",
+            "continuity",
+            "converged",
+        ],
+        &rows,
+    );
+    println!(
+        "\nExpected shape: hops ≈ O(log N) (Chord), so response time grows \
+         logarithmically with network size."
+    );
+}

@@ -1,0 +1,145 @@
+//! **Experiment S3 — "Master-key peer departures" scenario.**
+//!
+//! The paper demonstrates (a) a Master-key peer leaving normally — its keys
+//! and timestamps transfer to the Master-Succ — and (b) a Master-key crash —
+//! the successor takes over, "assuring continuous timestamps for the key".
+//! This experiment scripts both, measures the takeover, and checks the
+//! continuity invariant held throughout.
+//!
+//! Run: `cargo run -p ltr-bench --release --bin exp_s3`
+
+use ltr_bench::{fmt_latency, ok, print_table, settled_net};
+use workload::{drive_editors, EditMix, EditorSpec};
+use p2p_ltr::{check_continuity, check_convergence, LtrConfig};
+use simnet::{Duration, NetConfig, Time};
+
+const DOC: &str = "wiki/Main";
+
+struct Outcome {
+    mode: &'static str,
+    ts_before: u64,
+    ts_after: u64,
+    takeover_ms: f64,
+    continuity: bool,
+    converged: bool,
+    promoted: u64,
+    handed_off: u64,
+    latency: String,
+}
+
+fn run(mode: &'static str, seed: u64) -> Outcome {
+    let mut net = settled_net(seed, NetConfig::lan(), 12, LtrConfig::default());
+    let peers = net.peers.clone();
+    net.open_doc(&peers, DOC, "start");
+    net.settle(1);
+
+    // Editors: two peers that are not the master (so they survive).
+    let master0 = net.master_of(DOC);
+    let editors: Vec<_> = peers
+        .iter()
+        .copied()
+        .filter(|p| p.addr != master0.addr)
+        .take(2)
+        .collect();
+    let horizon = net.now() + Duration::from_secs(40);
+    drive_editors(
+        &mut net.sim,
+        &editors,
+        &EditorSpec {
+            docs: vec![DOC.into()],
+            zipf_skew: 0.0,
+            mean_think: Duration::from_millis(700),
+            mix: EditMix::default(),
+            horizon,
+        },
+        seed ^ 0xAB,
+    );
+
+    // Let some timestamps accumulate, then remove the master at t_kill.
+    net.settle(10);
+    let ts_before = check_continuity(&net.sim).last_ts(DOC);
+    let master = net.master_of(DOC);
+    let t_kill = net.now();
+    match mode {
+        "graceful leave" => net.leave(master),
+        _ => net.crash(master),
+    }
+
+    // Editing continues through the takeover; find the first grant after.
+    net.settle(30);
+    net.run_until_quiet(&[DOC], 120);
+    net.settle(10);
+
+    // First grant time after t_kill, across all nodes.
+    let mut first_grant_after: Option<Time> = None;
+    for p in net.alive_peers() {
+        for ev in &net.node(p).events {
+            if let p2p_ltr::LtrEventKind::MasterGranted { doc, .. } = &ev.kind {
+                if doc == DOC && ev.at > t_kill {
+                    first_grant_after = Some(match first_grant_after {
+                        Some(t) if t < ev.at => t,
+                        _ => ev.at,
+                    });
+                }
+            }
+        }
+    }
+    let takeover_ms = first_grant_after
+        .map(|t| t.since(t_kill).as_millis_f64())
+        .unwrap_or(f64::NAN);
+
+    let cont = check_continuity(&net.sim);
+    let conv = check_convergence(&net.sim);
+    Outcome {
+        mode,
+        ts_before,
+        ts_after: cont.last_ts(DOC),
+        takeover_ms,
+        continuity: cont.is_clean(),
+        converged: conv.is_converged(),
+        promoted: net.sim.metrics().counter("kts.backups_promoted"),
+        handed_off: net.sim.metrics().counter("kts.entries_handed_off"),
+        latency: fmt_latency(&net.sim.metrics().summary("ltr.publish_latency_ms")),
+    }
+}
+
+fn main() {
+    let outcomes = [run("graceful leave", 0x53A), run("crash", 0x53B)];
+    let rows: Vec<Vec<String>> = outcomes
+        .iter()
+        .map(|o| {
+            vec![
+                o.mode.to_string(),
+                o.ts_before.to_string(),
+                o.ts_after.to_string(),
+                format!("{:.0}", o.takeover_ms),
+                ok(o.continuity),
+                ok(o.converged),
+                o.handed_off.to_string(),
+                o.promoted.to_string(),
+                o.latency.clone(),
+            ]
+        })
+        .collect();
+    print_table(
+        "S3: Master-key departures — takeover correctness and cost",
+        &[
+            "mode",
+            "last-ts@kill",
+            "last-ts@end",
+            "1st grant after (ms)",
+            "continuity",
+            "converged",
+            "ts handed off",
+            "backups promoted",
+            "publish ms (mean/p95/p99)",
+        ],
+        &rows,
+    );
+    println!(
+        "\nInterpretation: graceful leave hands the table to the successor \
+         (handed off > 0, fast takeover); a crash relies on the Master-Succ \
+         backup + failure detection (promotions > 0, takeover bounded by the \
+         detection timeout). Continuity must hold in both."
+    );
+}

@@ -1,0 +1,109 @@
+//! **Experiment S4 — "New Master-key peer joining" scenario.**
+//!
+//! A new peer joins and becomes the Master-key for certain keys; the old
+//! responsible "transfers its keys and timestamps to the new Master-key,
+//! without violating eventual consistency". We craft a joiner whose ring id
+//! splits the document's arc so it deterministically takes the key over.
+//!
+//! Run: `cargo run -p ltr-bench --release --bin exp_s4`
+
+use ltr_bench::{ok, print_invariants, print_table, settled_net};
+use p2p_ltr::{check_continuity, LtrConfig};
+use simnet::NetConfig;
+
+const DOC: &str = "wiki/Main";
+
+fn main() {
+    let mut net = settled_net(0x54, NetConfig::lan(), 10, LtrConfig::default());
+    let peers = net.peers.clone();
+    net.open_doc(&peers, DOC, "v0");
+    net.settle(1);
+
+    // Accumulate timestamps 1..=3 under the original master.
+    for (i, p) in peers.iter().take(3).enumerate() {
+        let cur = net.node(*p).doc_text(DOC).unwrap();
+        net.edit(*p, DOC, &format!("{cur}\nedit-{i}"));
+        net.run_until_quiet(&[DOC], 60);
+        net.settle(3);
+    }
+
+    let old_master = net.master_of(DOC);
+    let before = net.node(old_master).kts().mastered_count();
+    println!(
+        "before join: master of {DOC:?} is {} (ring {}), mastering {} key(s), last-ts {}",
+        old_master.addr,
+        old_master.id,
+        before,
+        check_continuity(&net.sim).last_ts(DOC)
+    );
+
+    // Find a name hashing between the doc key and the old master.
+    let key = p2plog::ht(DOC);
+    let joiner_name = (0..200_000)
+        .map(|i| format!("joiner-{i}"))
+        .find(|name| {
+            let id = chord::Id::hash(name.as_bytes());
+            id.in_half_open(key, old_master.id) && id != old_master.id
+        })
+        .expect("splitting id exists");
+    let t_join = net.now();
+    let joiner = net.add_peer(&joiner_name);
+    net.settle(20);
+
+    let new_master = net.master_of(DOC);
+    let handoffs = net.sim.metrics().counter("kts.entries_handed_off");
+    let received = net.sim.metrics().counter("kts.entries_handoff_received");
+
+    // Continue editing: continuity must continue at 4 under the new master.
+    let editor = peers[5];
+    let cur = net.node(editor).doc_text(DOC).unwrap();
+    net.edit(editor, DOC, &format!("{cur}\nafter-join"));
+    net.run_until_quiet(&[DOC], 60);
+    net.settle(10);
+
+    let cont = check_continuity(&net.sim);
+    let conv = p2p_ltr::check_convergence(&net.sim);
+    let joiner_grants = net.node(joiner).grants().len();
+
+    print_table(
+        "S4: New Master-key joining — key + timestamp takeover",
+        &[
+            "step",
+            "master addr",
+            "master ring id",
+            "doc last-ts",
+            "notes",
+        ],
+        &[
+            vec![
+                "before join".into(),
+                format!("{}", old_master.addr),
+                format!("{}", old_master.id),
+                "3".into(),
+                "original responsible".into(),
+            ],
+            vec![
+                "after join".into(),
+                format!("{}", new_master.addr),
+                format!("{}", new_master.id),
+                cont.last_ts(DOC).to_string(),
+                format!(
+                    "joiner {} ({}); ts entries handed off={handoffs}, received={received}",
+                    joiner.addr, joiner.id
+                ),
+            ],
+        ],
+    );
+    println!(
+        "\njoiner became master: {} (granted {} timestamp(s) itself)",
+        ok(new_master.id == joiner.id),
+        joiner_grants
+    );
+    println!(
+        "continuity across handoff: {} | convergence: {} | join at {}",
+        ok(cont.is_clean()),
+        ok(conv.is_converged()),
+        t_join
+    );
+    print_invariants(&net);
+}

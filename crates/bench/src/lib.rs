@@ -1,0 +1,104 @@
+//! Shared helpers for the experiment binaries (one per paper
+//! figure/scenario — see EXPERIMENTS.md for the index).
+
+use p2p_ltr::harness::LtrNet;
+use p2p_ltr::LtrConfig;
+use simnet::{Duration, NetConfig, Summary};
+
+/// Build a network and let the ring stabilize.
+pub fn settled_net(seed: u64, net_cfg: NetConfig, peers: usize, cfg: LtrConfig) -> LtrNet {
+    let mut net = LtrNet::build(seed, net_cfg, peers, cfg, Duration::from_millis(150));
+    // Stabilization horizon grows slowly with network size.
+    let secs = 20 + (peers as u64) / 4;
+    net.settle(secs);
+    net
+}
+
+/// Fixed-width table printer for experiment output (the paper's tables are
+/// regenerated as plain text so runs diff cleanly).
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut out = String::from("| ");
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!("{:<w$} | ", c, w = widths[i]));
+        }
+        out
+    };
+    println!("{}", line(headers.iter().map(|s| s.to_string()).collect()));
+    println!(
+        "|{}|",
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("|")
+    );
+    for row in rows {
+        println!("{}", line(row.clone()));
+    }
+}
+
+/// Format a latency summary as `mean/p95/p99 ms`.
+pub fn fmt_latency(s: &Summary) -> String {
+    if s.count == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.1}/{:.1}/{:.1}", s.mean, s.p95, s.p99)
+    }
+}
+
+/// Format a boolean as a check.
+pub fn ok(b: bool) -> String {
+    if b {
+        "yes".into()
+    } else {
+        "NO".into()
+    }
+}
+
+/// Print the standard invariant footer every experiment ends with.
+pub fn print_invariants(net: &LtrNet) {
+    let cont = p2p_ltr::check_continuity(&net.sim);
+    let order = p2p_ltr::check_total_order(&net.sim);
+    let conv = p2p_ltr::check_convergence(&net.sim);
+    println!(
+        "\ninvariants: continuity={} (docs={}, dups={}, gaps={}), total-order={} ({} integrations), convergence={} ({} docs, {} busy)",
+        ok(cont.is_clean()),
+        cont.granted.len(),
+        cont.duplicates.len(),
+        cont.gaps.len(),
+        ok(order.is_clean()),
+        order.checked,
+        ok(conv.is_converged()),
+        conv.docs(),
+        conv.busy_replicas,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_printer_does_not_panic() {
+        print_table(
+            "t",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+
+    #[test]
+    fn fmt_latency_empty() {
+        assert_eq!(fmt_latency(&Summary::default()), "-");
+    }
+}

@@ -1,0 +1,148 @@
+//! Effects emitted by the sans-IO Chord state machine, and upcall events for
+//! the layers above (KTS / P2P-Log / P2P-LTR).
+
+use bytes::Bytes;
+
+use crate::msg::{ChordMsg, NodeRef, OpId};
+use simnet::{Duration, NodeId};
+
+/// Timers the Chord node arms. The embedding process encodes these into the
+/// simulator's opaque `u64` timer tags via [`ChordTimer::encode`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChordTimer {
+    /// Periodic successor-pointer repair.
+    Stabilize,
+    /// Periodic finger repair.
+    FixFingers,
+    /// Periodic predecessor liveness probe.
+    CheckPredecessor,
+    /// Periodic replica push.
+    Replicate,
+    /// Per-operation timeout.
+    OpTimeout(OpId),
+}
+
+impl ChordTimer {
+    /// Pack into a `u64` tag (low 3 bits discriminate; op ids shift left).
+    pub fn encode(self) -> u64 {
+        match self {
+            ChordTimer::Stabilize => 0,
+            ChordTimer::FixFingers => 1,
+            ChordTimer::CheckPredecessor => 2,
+            ChordTimer::Replicate => 3,
+            ChordTimer::OpTimeout(op) => 4 | (op.0 << 3),
+        }
+    }
+
+    /// Inverse of [`ChordTimer::encode`]. Returns `None` for foreign tags.
+    pub fn decode(tag: u64) -> Option<ChordTimer> {
+        match tag & 0b111 {
+            0 => Some(ChordTimer::Stabilize),
+            1 => Some(ChordTimer::FixFingers),
+            2 => Some(ChordTimer::CheckPredecessor),
+            3 => Some(ChordTimer::Replicate),
+            4 => Some(ChordTimer::OpTimeout(OpId(tag >> 3))),
+            _ => None,
+        }
+    }
+}
+
+/// Upcalls from Chord to the application layer.
+#[derive(Clone, Debug)]
+pub enum ChordEvent {
+    /// The node completed its join and participates in the ring.
+    Joined,
+    /// Join could not complete after the configured attempts.
+    JoinFailed,
+    /// A [`crate::ChordNode::lookup`] completed.
+    LookupDone {
+        /// The operation handle returned by `lookup`.
+        op: OpId,
+        /// Node responsible for the looked-up id.
+        owner: NodeRef,
+        /// Routing hops taken.
+        hops: u32,
+    },
+    /// A lookup exhausted its retries.
+    LookupFailed {
+        /// The operation handle.
+        op: OpId,
+    },
+    /// A [`crate::ChordNode::put`] completed.
+    PutDone {
+        /// The operation handle.
+        op: OpId,
+        /// True if stored.
+        ok: bool,
+        /// On a first-writer conflict, the value already present.
+        conflict: Option<Bytes>,
+    },
+    /// A [`crate::ChordNode::get`] completed.
+    GetDone {
+        /// The operation handle.
+        op: OpId,
+        /// The value found, if any.
+        value: Option<Bytes>,
+        /// False when the operation exhausted its retries (vs. an
+        /// authoritative miss).
+        ok: bool,
+    },
+    /// The predecessor pointer changed (join, leave, or failure detection).
+    /// The upper layers use this to hand off per-key application state
+    /// (the paper's "transfers its keys and timestamps" step).
+    PredecessorChanged {
+        /// Previous predecessor.
+        old: Option<NodeRef>,
+        /// New predecessor (None = presumed failed).
+        new: Option<NodeRef>,
+    },
+    /// Keys were transferred in from another node (join/leave handoff).
+    KeysReceived {
+        /// Number of items received.
+        count: usize,
+    },
+}
+
+/// One buffered effect from the Chord state machine.
+#[derive(Clone, Debug)]
+pub enum Action {
+    /// Send a Chord message to a transport address.
+    Send(NodeId, ChordMsg),
+    /// Arm a timer.
+    SetTimer(Duration, ChordTimer),
+    /// Deliver an upcall to the embedding layer.
+    Event(ChordEvent),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_encoding_roundtrips() {
+        let timers = [
+            ChordTimer::Stabilize,
+            ChordTimer::FixFingers,
+            ChordTimer::CheckPredecessor,
+            ChordTimer::Replicate,
+            ChordTimer::OpTimeout(OpId(0)),
+            ChordTimer::OpTimeout(OpId(12345)),
+            ChordTimer::OpTimeout(OpId(u64::MAX >> 3)),
+        ];
+        for t in timers {
+            assert_eq!(ChordTimer::decode(t.encode()), Some(t));
+        }
+    }
+
+    #[test]
+    fn distinct_ops_distinct_tags() {
+        assert_ne!(
+            ChordTimer::OpTimeout(OpId(1)).encode(),
+            ChordTimer::OpTimeout(OpId(2)).encode()
+        );
+        assert_ne!(
+            ChordTimer::Stabilize.encode(),
+            ChordTimer::OpTimeout(OpId(0)).encode()
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Ring identifiers and modular interval arithmetic on the 2^64 Chord ring.
+//!
+//! Every placement decision in Chord reduces to "is `x` in the arc between
+//! `a` and `b`, walking clockwise?" — these predicates are subtle under
+//! wrap-around, so they live here with exhaustive tests and are used
+//! everywhere else verbatim.
+
+use std::fmt;
+
+use crate::sha1::sha1_u64;
+
+/// Number of bits in the identifier space (and finger-table size).
+pub const M: usize = 64;
+
+/// A position on the 2^64 identifier ring.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Id(pub u64);
+
+impl Id {
+    /// Hash an arbitrary byte string onto the ring (SHA-1, top 64 bits).
+    pub fn hash(data: &[u8]) -> Id {
+        Id(sha1_u64(data))
+    }
+
+    /// Hash a name with a one-byte domain-separation salt. The timestamp hash
+    /// `ht` and the replication hashes `h1..hn` are all derived this way.
+    pub fn hash_salted(salt: u8, data: &[u8]) -> Id {
+        let mut buf = Vec::with_capacity(data.len() + 2);
+        buf.push(salt);
+        buf.push(b':');
+        buf.extend_from_slice(data);
+        Id(sha1_u64(&buf))
+    }
+
+    /// `self + 2^exp (mod 2^64)` — finger-table start positions.
+    #[inline]
+    pub fn plus_pow2(self, exp: usize) -> Id {
+        debug_assert!(exp < M);
+        Id(self.0.wrapping_add(1u64 << exp))
+    }
+
+    /// Clockwise distance from `self` to `other`.
+    #[inline]
+    pub fn distance_to(self, other: Id) -> u64 {
+        other.0.wrapping_sub(self.0)
+    }
+
+    /// Is `self` in the **open** arc `(a, b)` walking clockwise?
+    ///
+    /// Convention for degenerate bounds `a == b`: the arc is the whole ring
+    /// minus the endpoint (a single-node ring owns everything).
+    #[inline]
+    pub fn in_open(self, a: Id, b: Id) -> bool {
+        if a == b {
+            self != a
+        } else {
+            a.distance_to(self) > 0 && a.distance_to(self) < a.distance_to(b)
+        }
+    }
+
+    /// Is `self` in the **half-open** arc `(a, b]` walking clockwise?
+    ///
+    /// Convention for `a == b`: the whole ring (every id qualifies). This is
+    /// the "key ownership" predicate: node `b` with predecessor `a` owns key
+    /// `k` iff `k.in_half_open(a, b)`.
+    #[inline]
+    pub fn in_half_open(self, a: Id, b: Id) -> bool {
+        if a == b {
+            true
+        } else {
+            let d = a.distance_to(self);
+            d > 0 && d <= a.distance_to(b)
+        }
+    }
+
+    /// Raw value.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Id {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Short prefix is enough to distinguish nodes in traces.
+        write!(f, "#{:016x}", self.0)
+    }
+}
+
+impl fmt::Display for Id {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04x}", self.0 >> 48)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: Id = Id(100);
+    const B: Id = Id(200);
+
+    #[test]
+    fn open_interval_no_wrap() {
+        assert!(Id(150).in_open(A, B));
+        assert!(!Id(100).in_open(A, B));
+        assert!(!Id(200).in_open(A, B));
+        assert!(!Id(50).in_open(A, B));
+        assert!(!Id(250).in_open(A, B));
+    }
+
+    #[test]
+    fn half_open_interval_no_wrap() {
+        assert!(Id(150).in_half_open(A, B));
+        assert!(Id(200).in_half_open(A, B));
+        assert!(!Id(100).in_half_open(A, B));
+        assert!(!Id(201).in_half_open(A, B));
+    }
+
+    #[test]
+    fn intervals_wrap_around_zero() {
+        let a = Id(u64::MAX - 10);
+        let b = Id(10);
+        assert!(Id(u64::MAX).in_open(a, b));
+        assert!(Id(0).in_open(a, b));
+        assert!(Id(5).in_open(a, b));
+        assert!(!Id(10).in_open(a, b));
+        assert!(Id(10).in_half_open(a, b));
+        assert!(!Id(11).in_half_open(a, b));
+        assert!(!Id(u64::MAX - 10).in_half_open(a, b));
+    }
+
+    #[test]
+    fn degenerate_interval_conventions() {
+        // (a, a] covers the whole ring — a single node owns every key.
+        assert!(Id(5).in_half_open(A, A));
+        assert!(Id(100).in_half_open(A, A));
+        // (a, a) covers everything but a itself.
+        assert!(Id(5).in_open(A, A));
+        assert!(!Id(100).in_open(A, A));
+    }
+
+    #[test]
+    fn distance_wraps() {
+        assert_eq!(Id(10).distance_to(Id(20)), 10);
+        assert_eq!(Id(20).distance_to(Id(10)), u64::MAX - 9);
+        assert_eq!(Id(5).distance_to(Id(5)), 0);
+    }
+
+    #[test]
+    fn plus_pow2_wraps() {
+        assert_eq!(Id(0).plus_pow2(3), Id(8));
+        assert_eq!(Id(u64::MAX).plus_pow2(0), Id(0));
+        assert_eq!(Id(1).plus_pow2(63), Id((1u64 << 63) + 1));
+    }
+
+    #[test]
+    fn salted_hashes_are_independent() {
+        let a = Id::hash_salted(0, b"doc");
+        let b = Id::hash_salted(1, b"doc");
+        let c = Id::hash_salted(2, b"doc");
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_ne!(a, c);
+        // Deterministic.
+        assert_eq!(a, Id::hash_salted(0, b"doc"));
+    }
+
+    #[test]
+    fn membership_is_exclusive_of_lower_bound() {
+        // Ownership predicate: key exactly at predecessor belongs to pred.
+        let pred = Id(1000);
+        let me = Id(2000);
+        assert!(!pred.in_half_open(pred, me));
+        assert!(me.in_half_open(pred, me));
+    }
+}

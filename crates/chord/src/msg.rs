@@ -1,0 +1,178 @@
+//! Chord wire messages and the node/operation handles they carry.
+
+use bytes::Bytes;
+
+use crate::id::Id;
+use simnet::NodeId;
+
+/// A node's full address: transport address plus ring position.
+///
+/// (In the paper's prototype this pair is a Java RMI remote reference plus
+/// the Open Chord id.)
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeRef {
+    /// Transport address in the simulator.
+    pub addr: NodeId,
+    /// Position on the identifier ring.
+    pub id: Id,
+}
+
+impl NodeRef {
+    /// Construct from the two halves.
+    pub fn new(addr: NodeId, id: Id) -> Self {
+        NodeRef { addr, id }
+    }
+}
+
+impl std::fmt::Debug for NodeRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@{}", self.addr, self.id)
+    }
+}
+
+/// Handle for an asynchronous DHT operation, local to the issuing node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(pub u64);
+
+impl std::fmt::Debug for OpId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// Write-conflict policy for [`ChordMsg::Put`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PutMode {
+    /// Unconditional overwrite (used for mutable records, e.g. last-ts
+    /// backups).
+    Overwrite,
+    /// First writer wins: if a *different* value is already stored under the
+    /// key, the put is rejected and the existing value returned. The P2P-Log
+    /// uses this so the log itself arbitrates duelling masters (a hardening
+    /// extension documented in DESIGN.md §6).
+    FirstWriter,
+}
+
+/// The Chord protocol messages.
+///
+/// Lookup uses recursive forwarding with a direct reply to the origin, as in
+/// the Chord paper; storage ops are two-phase (lookup, then a direct
+/// `Put`/`Get` to the owner).
+#[derive(Clone, Debug)]
+pub enum ChordMsg {
+    /// Route a lookup for `target` toward its successor.
+    FindSuccessor {
+        /// Origin's operation handle (echoed in the reply).
+        op: OpId,
+        /// The id whose successor is sought.
+        target: Id,
+        /// Node to send the answer to.
+        origin: NodeRef,
+        /// Hops so far (loop guard + metrics).
+        hops: u32,
+    },
+    /// Lookup answer, sent directly to the origin.
+    FoundSuccessor {
+        /// Echoed operation handle.
+        op: OpId,
+        /// The node currently responsible for the target id.
+        owner: NodeRef,
+        /// Total routing hops.
+        hops: u32,
+    },
+    /// Stabilization: ask a successor for its predecessor + successor list.
+    GetPredecessor {
+        /// Operation handle.
+        op: OpId,
+    },
+    /// Stabilization answer.
+    PredecessorIs {
+        /// Echoed operation handle.
+        op: OpId,
+        /// The responder's current predecessor.
+        pred: Option<NodeRef>,
+        /// The responder's successor list (for list repair).
+        succ_list: Vec<NodeRef>,
+    },
+    /// "I might be your predecessor."
+    Notify {
+        /// The candidate predecessor.
+        candidate: NodeRef,
+    },
+    /// Failure-detector probe.
+    Ping {
+        /// Operation handle.
+        op: OpId,
+    },
+    /// Probe answer.
+    Pong {
+        /// Echoed operation handle.
+        op: OpId,
+    },
+    /// Store a value at the node responsible for `key`.
+    Put {
+        /// Operation handle.
+        op: OpId,
+        /// Storage key (already hashed onto the ring).
+        key: Id,
+        /// Value bytes.
+        value: Bytes,
+        /// Conflict policy.
+        mode: PutMode,
+        /// Node to ack.
+        origin: NodeRef,
+    },
+    /// Acknowledge a `Put`.
+    PutAck {
+        /// Echoed operation handle.
+        op: OpId,
+        /// False iff rejected by [`PutMode::FirstWriter`] conflict.
+        ok: bool,
+        /// On conflict, the value already present.
+        existing: Option<Bytes>,
+    },
+    /// Fetch the value stored under `key`.
+    Get {
+        /// Operation handle.
+        op: OpId,
+        /// Storage key.
+        key: Id,
+        /// Node to answer.
+        origin: NodeRef,
+    },
+    /// Answer a `Get`.
+    GetReply {
+        /// Echoed operation handle.
+        op: OpId,
+        /// The stored value, if any (checks primary then replica bucket).
+        value: Option<Bytes>,
+        /// True when the responder is (or believes it is) the key's owner —
+        /// a `None` with `authoritative` set is a real miss, otherwise the
+        /// origin should re-resolve ownership and retry.
+        authoritative: bool,
+    },
+    /// Owner pushing backup copies of its primary items to a successor.
+    Replicate {
+        /// `(key, value)` pairs to hold as replicas.
+        items: Vec<(Id, Bytes)>,
+    },
+    /// Responsibility handoff: these keys now belong to the receiver.
+    TransferKeys {
+        /// `(key, value)` pairs the receiver becomes primary for.
+        items: Vec<(Id, Bytes)>,
+    },
+    /// Graceful leave, to the successor: primary items + the leaver's
+    /// predecessor so the successor can relink.
+    LeaveToSucc {
+        /// The leaver's predecessor (successor's probable new predecessor).
+        pred_of_leaver: Option<NodeRef>,
+        /// All primary items the successor must take over.
+        items: Vec<(Id, Bytes)>,
+    },
+    /// Graceful leave, to the predecessor: points it at the leaver's
+    /// successor.
+    LeaveToPred {
+        /// The leaver's successor (predecessor's probable new successor).
+        succ_of_leaver: NodeRef,
+    },
+}

@@ -1,0 +1,233 @@
+//! Per-node key-value storage with primary/replica buckets.
+//!
+//! A node is *primary* for the keys in `(pred, me]`; it additionally holds
+//! *replica* copies of its predecessors' items (the paper's Log-Peers-Succ
+//! role). Replicas are promoted to primary when responsibility shifts after
+//! a failure.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+
+use crate::id::Id;
+
+/// Primary + replica item store for one node.
+#[derive(Clone, Debug, Default)]
+pub struct Storage {
+    primary: BTreeMap<Id, Bytes>,
+    replica: BTreeMap<Id, Bytes>,
+}
+
+/// Extract the keys of `map` lying in the clockwise arc `(from, to]`,
+/// handling wrap-around.
+fn keys_in_range(map: &BTreeMap<Id, Bytes>, from: Id, to: Id) -> Vec<Id> {
+    map.keys().copied().filter(|k| k.in_half_open(from, to)).collect()
+}
+
+impl Storage {
+    /// Fresh empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store as primary (unconditional overwrite).
+    pub fn put_primary(&mut self, key: Id, value: Bytes) {
+        self.primary.insert(key, value);
+    }
+
+    /// Store as primary only if absent or equal; on mismatch returns the
+    /// existing value (first-writer-wins arbitration).
+    pub fn put_primary_first_writer(&mut self, key: Id, value: Bytes) -> Result<(), Bytes> {
+        match self.primary.get(&key) {
+            Some(existing) if *existing != value => Err(existing.clone()),
+            _ => {
+                self.primary.insert(key, value);
+                Ok(())
+            }
+        }
+    }
+
+    /// Store a replica copy.
+    pub fn put_replica(&mut self, key: Id, value: Bytes) {
+        self.replica.insert(key, value);
+    }
+
+    /// Read, preferring primary, falling back to the replica bucket (covers
+    /// the window between a predecessor's crash and promotion).
+    pub fn get(&self, key: Id) -> Option<&Bytes> {
+        self.primary.get(&key).or_else(|| self.replica.get(&key))
+    }
+
+    /// Read only the primary bucket.
+    pub fn get_primary(&self, key: Id) -> Option<&Bytes> {
+        self.primary.get(&key)
+    }
+
+    /// Does either bucket hold the key?
+    pub fn contains(&self, key: Id) -> bool {
+        self.primary.contains_key(&key) || self.replica.contains_key(&key)
+    }
+
+    /// All primary items (for replica pushes and graceful handoff).
+    pub fn primary_items(&self) -> Vec<(Id, Bytes)> {
+        self.primary.iter().map(|(k, v)| (*k, v.clone())).collect()
+    }
+
+    /// Remove and return primary items in `(from, to]` — the handoff set
+    /// when a new predecessor takes over that arc.
+    pub fn extract_primary_range(&mut self, from: Id, to: Id) -> Vec<(Id, Bytes)> {
+        let keys = keys_in_range(&self.primary, from, to);
+        keys.into_iter()
+            .map(|k| {
+                let v = self.primary.remove(&k).expect("key listed but missing");
+                // Keep a replica copy: we are the new owner's successor.
+                self.replica.insert(k, v.clone());
+                (k, v)
+            })
+            .collect()
+    }
+
+    /// Promote replica items in `(from, to]` to primary (post-failure
+    /// takeover of a predecessor's arc).
+    pub fn promote_replicas_in_range(&mut self, from: Id, to: Id) -> usize {
+        let keys = keys_in_range(&self.replica, from, to);
+        let n = keys.len();
+        for k in keys {
+            let v = self.replica.remove(&k).expect("key listed but missing");
+            self.primary.entry(k).or_insert(v);
+        }
+        n
+    }
+
+    /// Drop replica items that fall inside our own primary range (they were
+    /// promoted elsewhere or are stale).
+    pub fn prune_replicas_in_range(&mut self, from: Id, to: Id) -> usize {
+        let keys = keys_in_range(&self.replica, from, to);
+        let n = keys.len();
+        for k in keys {
+            self.replica.remove(&k);
+        }
+        n
+    }
+
+    /// Number of primary items.
+    pub fn primary_len(&self) -> usize {
+        self.primary.len()
+    }
+
+    /// Number of replica items.
+    pub fn replica_len(&self) -> usize {
+        self.replica.len()
+    }
+
+    /// Iterate primary entries without cloning (e.g. for GC sweeps).
+    pub fn iter_primary(&self) -> impl Iterator<Item = (&Id, &Bytes)> {
+        self.primary.iter()
+    }
+
+    /// Iterate replica entries without cloning.
+    pub fn iter_replica(&self) -> impl Iterator<Item = (&Id, &Bytes)> {
+        self.replica.iter()
+    }
+
+    /// Remove a key from both buckets; true if anything was removed.
+    pub fn remove(&mut self, key: Id) -> bool {
+        let a = self.primary.remove(&key).is_some();
+        let b = self.replica.remove(&key).is_some();
+        a || b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut s = Storage::new();
+        s.put_primary(Id(5), b("v"));
+        assert_eq!(s.get(Id(5)), Some(&b("v")));
+        assert_eq!(s.get(Id(6)), None);
+    }
+
+    #[test]
+    fn first_writer_wins_rejects_conflicts() {
+        let mut s = Storage::new();
+        assert!(s.put_primary_first_writer(Id(1), b("a")).is_ok());
+        // Idempotent re-put of the same value is fine.
+        assert!(s.put_primary_first_writer(Id(1), b("a")).is_ok());
+        // A different value is rejected and the original returned.
+        let err = s.put_primary_first_writer(Id(1), b("z")).unwrap_err();
+        assert_eq!(err, b("a"));
+        assert_eq!(s.get(Id(1)), Some(&b("a")));
+    }
+
+    #[test]
+    fn get_falls_back_to_replica() {
+        let mut s = Storage::new();
+        s.put_replica(Id(9), b("r"));
+        assert_eq!(s.get(Id(9)), Some(&b("r")));
+        assert_eq!(s.get_primary(Id(9)), None);
+    }
+
+    #[test]
+    fn extract_range_moves_to_replica_bucket() {
+        let mut s = Storage::new();
+        s.put_primary(Id(10), b("x"));
+        s.put_primary(Id(20), b("y"));
+        s.put_primary(Id(30), b("z"));
+        let moved = s.extract_primary_range(Id(5), Id(20));
+        let keys: Vec<Id> = moved.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![Id(10), Id(20)]);
+        assert_eq!(s.primary_len(), 1);
+        // Extracted items remain as replicas (we are the new owner's succ).
+        assert_eq!(s.get(Id(10)), Some(&b("x")));
+        assert_eq!(s.replica_len(), 2);
+    }
+
+    #[test]
+    fn extract_range_handles_wraparound() {
+        let mut s = Storage::new();
+        s.put_primary(Id(u64::MAX - 1), b("a"));
+        s.put_primary(Id(3), b("b"));
+        s.put_primary(Id(1000), b("c"));
+        let moved = s.extract_primary_range(Id(u64::MAX - 5), Id(5));
+        assert_eq!(moved.len(), 2);
+        assert_eq!(s.primary_len(), 1);
+        assert!(s.get_primary(Id(1000)).is_some());
+    }
+
+    #[test]
+    fn promote_replicas_takes_over_range() {
+        let mut s = Storage::new();
+        s.put_replica(Id(10), b("x"));
+        s.put_replica(Id(50), b("y"));
+        let n = s.promote_replicas_in_range(Id(0), Id(20));
+        assert_eq!(n, 1);
+        assert_eq!(s.get_primary(Id(10)), Some(&b("x")));
+        assert_eq!(s.get_primary(Id(50)), None);
+        assert_eq!(s.replica_len(), 1);
+    }
+
+    #[test]
+    fn promote_does_not_clobber_existing_primary() {
+        let mut s = Storage::new();
+        s.put_primary(Id(10), b("new"));
+        s.put_replica(Id(10), b("old"));
+        s.promote_replicas_in_range(Id(0), Id(20));
+        assert_eq!(s.get_primary(Id(10)), Some(&b("new")));
+    }
+
+    #[test]
+    fn prune_replicas() {
+        let mut s = Storage::new();
+        s.put_replica(Id(10), b("x"));
+        s.put_replica(Id(30), b("y"));
+        assert_eq!(s.prune_replicas_in_range(Id(5), Id(15)), 1);
+        assert_eq!(s.replica_len(), 1);
+    }
+}

@@ -1,0 +1,96 @@
+//! Observable events recorded by every node, consumed by the experiment
+//! oracles (continuity, total order, convergence).
+
+use simnet::Time;
+
+/// One notable occurrence on a node, with its simulated time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LtrEvent {
+    /// When it happened.
+    pub at: Time,
+    /// What happened.
+    pub kind: LtrEventKind,
+}
+
+/// Event kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LtrEventKind {
+    /// This node, acting as Master-key peer, granted a timestamp and the
+    /// patch is durably in the log. The continuity oracle consumes these.
+    MasterGranted {
+        /// Document name.
+        doc: String,
+        /// The granted timestamp.
+        ts: u64,
+    },
+    /// This node's own tentative patch was validated.
+    OwnPublished {
+        /// Document name.
+        doc: String,
+        /// Its timestamp.
+        ts: u64,
+        /// End-to-end latency from the save to the ack, in ms.
+        latency_ms: f64,
+    },
+    /// A remote patch was integrated (in continuous order). The total-order
+    /// oracle consumes these: per (node, doc) the ts sequence must be
+    /// exactly +1 increments.
+    Integrated {
+        /// Document name.
+        doc: String,
+        /// Timestamp integrated.
+        ts: u64,
+        /// True when this was our own patch recovered from the log after a
+        /// lost ack.
+        own: bool,
+    },
+    /// A validation was redirected (master moved).
+    Redirected {
+        /// Document name.
+        doc: String,
+    },
+    /// A validation answered "retry: you are behind".
+    RetriedBehind {
+        /// Document name.
+        doc: String,
+        /// The master's last_ts at that moment.
+        master_last_ts: u64,
+    },
+    /// This master detected it was stale (log conflict) and stood down.
+    StaleMasterStoodDown {
+        /// Document key involved.
+        doc_key: chord::Id,
+    },
+    /// Backup entries promoted after a predecessor failure.
+    BackupsPromoted {
+        /// How many.
+        count: usize,
+    },
+    /// Timestamp table handed to another master (leave/join).
+    TableHandedOff {
+        /// How many entries.
+        count: usize,
+    },
+    /// Timestamp table received.
+    TableReceived {
+        /// How many entries.
+        count: usize,
+    },
+    /// A publish cycle exhausted its attempts and backed off.
+    CycleBackedOff {
+        /// Document name.
+        doc: String,
+    },
+    /// A retrieval could not find a record (all replicas missed).
+    RetrievalStalled {
+        /// Document name.
+        doc: String,
+        /// The missing timestamp.
+        ts: u64,
+    },
+    /// Log GC removed records.
+    GcSwept {
+        /// Records removed on this node.
+        removed: usize,
+    },
+}

@@ -1,0 +1,176 @@
+//! Turn-key construction of whole P2P-LTR networks over the simulator —
+//! the equivalent of the paper's prototype GUI ("create the DHT, add/remove
+//! peers, store/retrieve data, monitor the data stored at each peer").
+
+use chord::{Id, NodeRef};
+use simnet::{Duration, NetConfig, NodeId, Sim, Time};
+
+use crate::config::LtrConfig;
+use crate::node::LtrNode;
+use crate::payload::{Payload, UserCmd};
+
+/// A built network plus the handles the experiments need.
+pub struct LtrNet {
+    /// The simulator.
+    pub sim: Sim<Payload>,
+    /// Ring refs of the initially created peers, in creation order.
+    pub peers: Vec<NodeRef>,
+    /// The node configuration used (for adding more peers later).
+    pub cfg: LtrConfig,
+}
+
+impl LtrNet {
+    /// Build `n` peers with deterministic ids; joins staggered by
+    /// `join_gap`. Run [`LtrNet::settle`] before using the network.
+    pub fn build(seed: u64, net: NetConfig, n: usize, cfg: LtrConfig, join_gap: Duration) -> Self {
+        assert!(n >= 1);
+        let mut sim = Sim::new(seed, net);
+        let mut peers = Vec::with_capacity(n);
+        let mut first: Option<NodeRef> = None;
+        for i in 0..n {
+            let id = Id::hash(format!("ltr-peer-{i}").as_bytes());
+            let addr = NodeId(sim.node_count() as u32);
+            let me = NodeRef::new(addr, id);
+            let (bootstrap, delay) = match first {
+                None => (None, Duration::ZERO),
+                Some(f) => (Some(f), join_gap * i as u64),
+            };
+            let assigned = sim.add_node(LtrNode::new(me, cfg.clone(), bootstrap, delay));
+            assert_eq!(assigned, addr);
+            if first.is_none() {
+                first = Some(me);
+            }
+            peers.push(me);
+        }
+        LtrNet { sim, peers, cfg }
+    }
+
+    /// Add one more peer now (joins immediately via the first peer).
+    pub fn add_peer(&mut self, name: &str) -> NodeRef {
+        let id = Id::hash(name.as_bytes());
+        let addr = NodeId(self.sim.node_count() as u32);
+        let me = NodeRef::new(addr, id);
+        let bootstrap = self
+            .alive_peers()
+            .first()
+            .copied()
+            .expect("network has at least one live peer");
+        let assigned = self.sim.add_node(LtrNode::new(
+            me,
+            self.cfg.clone(),
+            Some(bootstrap),
+            Duration::ZERO,
+        ));
+        assert_eq!(assigned, addr);
+        self.peers.push(me);
+        me
+    }
+
+    /// Run the simulation for `secs` simulated seconds.
+    pub fn settle(&mut self, secs: u64) {
+        self.sim.run_for(Duration::from_secs(secs));
+    }
+
+    /// Run for a sub-second duration.
+    pub fn run_for(&mut self, d: Duration) {
+        self.sim.run_for(d);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.sim.now()
+    }
+
+    /// Open `doc` with identical initial content at every listed peer.
+    pub fn open_doc(&mut self, peers: &[NodeRef], doc: &str, initial: &str) {
+        for p in peers {
+            self.sim.send_external(
+                p.addr,
+                Payload::Cmd(UserCmd::OpenDoc {
+                    doc: doc.to_owned(),
+                    initial: initial.to_owned(),
+                }),
+            );
+        }
+    }
+
+    /// Inject a save at a peer.
+    pub fn edit(&mut self, peer: NodeRef, doc: &str, new_text: &str) {
+        self.sim.send_external(
+            peer.addr,
+            Payload::Cmd(UserCmd::Edit {
+                doc: doc.to_owned(),
+                new_text: new_text.to_owned(),
+            }),
+        );
+    }
+
+    /// Trigger an immediate anti-entropy pull at a peer.
+    pub fn sync(&mut self, peer: NodeRef, doc: &str) {
+        self.sim.send_external(
+            peer.addr,
+            Payload::Cmd(UserCmd::Sync {
+                doc: doc.to_owned(),
+            }),
+        );
+    }
+
+    /// Gracefully remove a peer (timestamp + key handoff, ring splice).
+    pub fn leave(&mut self, peer: NodeRef) {
+        self.sim
+            .send_external(peer.addr, Payload::Cmd(UserCmd::Leave));
+    }
+
+    /// Crash-stop a peer.
+    pub fn crash(&mut self, peer: NodeRef) {
+        self.sim.crash(peer.addr);
+    }
+
+    /// Borrow a peer's node state.
+    pub fn node(&self, peer: NodeRef) -> &LtrNode {
+        self.sim
+            .node_as::<LtrNode>(peer.addr)
+            .expect("peer is an LtrNode")
+    }
+
+    /// Ring refs of all currently live peers.
+    pub fn alive_peers(&self) -> Vec<NodeRef> {
+        self.sim
+            .alive_nodes()
+            .into_iter()
+            .filter_map(|a| self.sim.node_as::<LtrNode>(a).map(|n| n.me()))
+            .collect()
+    }
+
+    /// The peer currently responsible for `ht(doc)` per the sorted-ring
+    /// oracle (ground truth for experiments: "who is the master?").
+    pub fn master_of(&self, doc: &str) -> NodeRef {
+        let key = p2plog::ht(doc);
+        let mut alive = self.alive_peers();
+        assert!(!alive.is_empty());
+        alive.sort_by_key(|r| key.distance_to(r.id));
+        alive[0]
+    }
+
+    /// Wait until no peer is busy with `docs` or `max_secs` elapsed;
+    /// returns true when quiescent. Always advances the clock at least one
+    /// step so commands injected just before the call get delivered.
+    pub fn run_until_quiet(&mut self, docs: &[&str], max_secs: u64) -> bool {
+        let deadline = self.sim.now() + Duration::from_secs(max_secs);
+        loop {
+            self.sim.run_for(Duration::from_millis(200));
+            let busy = self.sim.alive_nodes().into_iter().any(|a| {
+                self.sim
+                    .node_as::<LtrNode>(a)
+                    .map(|n| docs.iter().any(|d| n.is_busy(d)))
+                    .unwrap_or(false)
+            });
+            if !busy {
+                return true;
+            }
+            if self.sim.now() >= deadline {
+                return false;
+            }
+        }
+    }
+}

@@ -1,0 +1,375 @@
+//! The P2P-LTR peer: one simulator process combining the paper's roles —
+//! **User Peer** (local replicas, tentative patches, validation/retrieval),
+//! **Master-key peer** (continuous timestamping for the keys it owns),
+//! **Master-key-Succ** (last-ts backups), **Log-Peer** and **Log-Peer-Succ**
+//! (DHT storage + successor replication).
+//!
+//! Every peer runs all roles, as in the paper's model: which role is active
+//! for a given key follows from DHT placement (`ht`, `h1..hn`).
+//!
+//! The user-side procedures live in [`crate::node_user`], the master-side
+//! wiring in [`crate::node_master`], and the Chord glue in
+//! [`crate::node_glue`].
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+
+use chord::{ChordNode, ChordTimer, NodeRef, OpId};
+use kts::{KtsMaster, ReqId};
+use p2plog::{LogProbe, PublishTracker, Retriever};
+use simnet::{Ctx, Duration, NodeId, Process, Time};
+
+use crate::config::LtrConfig;
+use crate::events::{LtrEvent, LtrEventKind};
+use crate::payload::{Payload, UserCmd};
+
+/// Phase of the per-document user-side state machine (the paper's
+/// "patch timestamp validation" + "patch retrieval" procedures).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum UserPhase {
+    /// Nothing in flight.
+    Idle,
+    /// Resolving the Master-key peer via `ht(doc)`.
+    LocateMaster,
+    /// `Validate` sent, awaiting the master's answer.
+    Validating,
+    /// Retrieving missing patches in continuous order.
+    Retrieving,
+    /// Cycle failed; waiting for the retry timer.
+    Backoff,
+}
+
+/// The validation request currently in flight for a document.
+#[derive(Clone, Debug)]
+pub(crate) struct InflightValidate {
+    pub req: ReqId,
+    /// Exactly the patch bytes sent — used to recognise our own record in
+    /// the log when an ack was lost.
+    pub bytes: Bytes,
+    /// Number of pending ops included in `bytes`; edits arriving while the
+    /// validation is in flight extend the pending patch beyond this prefix.
+    pub op_count: usize,
+    pub attempts: u32,
+}
+
+/// Active retrieval for a document.
+pub(crate) struct RetrState {
+    pub retriever: Retriever,
+    /// Restart validation when retrieval completes (true when we were
+    /// bounced with `Retry`; false for anti-entropy pulls).
+    pub resume_validate: bool,
+    /// First record not yet processed (own-record detection window).
+    pub first_record_pending: bool,
+}
+
+/// Per-document state at this peer.
+pub(crate) struct DocState {
+    pub name: String,
+    pub replica: ot::Replica,
+    pub phase: UserPhase,
+    pub inflight: Option<InflightValidate>,
+    pub retr: Option<RetrState>,
+    /// When the current publish cycle started (for end-to-end latency).
+    pub cycle_started: Option<Time>,
+}
+
+/// Why a Chord operation was issued (completion routing).
+#[derive(Clone, Debug)]
+pub(crate) enum OpPurpose {
+    /// Locate the master to send a `Validate`.
+    MasterLookup { doc: String },
+    /// Locate the master to send a `LastTs` (anti-entropy).
+    SyncLookup { doc: String },
+    /// One replica put of a publish fan-out.
+    LogPut { token: u64 },
+    /// One fetch of a retrieval.
+    LogFetch {
+        doc: String,
+        ts: u64,
+        hash_idx: usize,
+    },
+    /// One get of a last-ts log probe.
+    ProbeFetch { token: u64 },
+}
+
+/// Master-side publish fan-out in progress.
+pub(crate) struct PublishCtx {
+    pub tracker: PublishTracker,
+}
+
+/// Master-side log probe in progress.
+pub(crate) struct ProbeCtx {
+    pub probe: LogProbe,
+}
+
+/// Core-layer timers (multiplexed with Chord's via the tag LSB).
+#[derive(Clone, Debug)]
+pub(crate) enum CoreTimer {
+    /// Deferred network start (staggered joins).
+    Start,
+    /// Anti-entropy tick.
+    SyncTick,
+    /// Log GC tick.
+    GcTick,
+    /// Validation response timeout.
+    ValidateTimeout { doc: String, req: ReqId },
+    /// Backoff expiry for a failed cycle.
+    RetryDoc { doc: String },
+}
+
+/// A full P2P-LTR peer as a simulator process.
+pub struct LtrNode {
+    pub(crate) me: NodeRef,
+    /// OT site id (tie-break ordering); derived from the address.
+    pub(crate) site: u64,
+    pub(crate) cfg: LtrConfig,
+    bootstrap: Option<NodeRef>,
+    start_delay: Duration,
+
+    pub(crate) chord: ChordNode,
+    pub(crate) kts: KtsMaster,
+
+    pub(crate) docs: HashMap<String, DocState>,
+    pub(crate) req_seq: u64,
+    /// Outstanding KTS requests → document routing.
+    pub(crate) validate_reqs: HashMap<ReqId, String>,
+    pub(crate) lastts_reqs: HashMap<ReqId, String>,
+
+    pub(crate) chord_ops: HashMap<OpId, OpPurpose>,
+    pub(crate) publishes: HashMap<u64, PublishCtx>,
+    pub(crate) probes: HashMap<u64, ProbeCtx>,
+
+    pub(crate) timer_tags: HashMap<u64, CoreTimer>,
+    pub(crate) tag_seq: u64,
+
+    /// Everything notable that happened here (oracle input).
+    pub events: Vec<LtrEvent>,
+}
+
+impl LtrNode {
+    /// Create a peer. `bootstrap` is `None` only for the first node of the
+    /// network; `start_delay` staggers joins.
+    pub fn new(
+        me: NodeRef,
+        cfg: LtrConfig,
+        bootstrap: Option<NodeRef>,
+        start_delay: Duration,
+    ) -> Self {
+        let chord = ChordNode::new(me, cfg.chord.clone());
+        let kts = KtsMaster::new(cfg.kts.clone());
+        LtrNode {
+            me,
+            site: me.addr.0 as u64 + 1,
+            cfg,
+            bootstrap,
+            start_delay,
+            chord,
+            kts,
+            docs: HashMap::new(),
+            req_seq: 0,
+            validate_reqs: HashMap::new(),
+            lastts_reqs: HashMap::new(),
+            chord_ops: HashMap::new(),
+            publishes: HashMap::new(),
+            probes: HashMap::new(),
+            timer_tags: HashMap::new(),
+            tag_seq: 0,
+            events: Vec::new(),
+        }
+    }
+
+    // ---- public inspection API (examples, tests, experiments) ----------
+
+    /// This peer's ring identity.
+    pub fn me(&self) -> NodeRef {
+        self.me
+    }
+
+    /// The OT site id used for this peer's edits.
+    pub fn site(&self) -> u64 {
+        self.site
+    }
+
+    /// Immutable view of the DHT layer.
+    pub fn chord(&self) -> &ChordNode {
+        &self.chord
+    }
+
+    /// Immutable view of the timestamp service state.
+    pub fn kts(&self) -> &KtsMaster {
+        &self.kts
+    }
+
+    /// The user-visible text of an open document.
+    pub fn doc_text(&self, doc: &str) -> Option<String> {
+        self.docs.get(doc).map(|d| d.replica.working().to_text())
+    }
+
+    /// Content hash of the user-visible document (convergence checks).
+    pub fn doc_hash(&self, doc: &str) -> Option<u64> {
+        self.docs.get(doc).map(|d| d.replica.working().content_hash())
+    }
+
+    /// Last integrated (validated) timestamp of an open document.
+    pub fn doc_ts(&self, doc: &str) -> Option<u64> {
+        self.docs.get(doc).map(|d| d.replica.ts)
+    }
+
+    /// True while a publish cycle or retrieval is in flight for `doc`, or
+    /// unsaved edits are pending.
+    pub fn is_busy(&self, doc: &str) -> bool {
+        self.docs.get(doc).is_some_and(|d| {
+            d.phase != UserPhase::Idle || d.replica.pending().is_some()
+        })
+    }
+
+    /// Names of the documents this peer has open.
+    pub fn open_docs(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.docs.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// All `MasterGranted` events recorded here (continuity oracle input).
+    pub fn grants(&self) -> Vec<(String, u64)> {
+        self.events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                LtrEventKind::MasterGranted { doc, ts } => Some((doc.clone(), *ts)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    // ---- plumbing --------------------------------------------------------
+
+    pub(crate) fn next_req(&mut self) -> ReqId {
+        self.req_seq += 1;
+        ReqId(self.req_seq)
+    }
+
+    pub(crate) fn record(&mut self, at: Time, kind: LtrEventKind) {
+        self.events.push(LtrEvent { at, kind });
+    }
+
+    /// Arm a core-layer timer (odd tags; chord uses even tags).
+    pub(crate) fn arm_core_timer(
+        &mut self,
+        ctx: &mut Ctx<'_, Payload>,
+        delay: Duration,
+        timer: CoreTimer,
+    ) {
+        self.tag_seq += 1;
+        let tag = self.tag_seq * 2 + 1;
+        self.timer_tags.insert(tag, timer);
+        ctx.set_timer(delay, tag);
+    }
+
+    fn start_network(&mut self, ctx: &mut Ctx<'_, Payload>) {
+        let actions = self.chord.start(ctx.now(), self.bootstrap);
+        self.apply_chord_actions(ctx, actions);
+        if let Some(period) = self.cfg.sync_every {
+            self.arm_core_timer(ctx, period, CoreTimer::SyncTick);
+        }
+        if let Some(gc) = &self.cfg.gc {
+            let every = gc.every;
+            self.arm_core_timer(ctx, every, CoreTimer::GcTick);
+        }
+    }
+
+    fn on_core_timer(&mut self, ctx: &mut Ctx<'_, Payload>, timer: CoreTimer) {
+        match timer {
+            CoreTimer::Start => self.start_network(ctx),
+            CoreTimer::SyncTick => {
+                self.tick_sync(ctx);
+                if let Some(period) = self.cfg.sync_every {
+                    self.arm_core_timer(ctx, period, CoreTimer::SyncTick);
+                }
+            }
+            CoreTimer::GcTick => {
+                self.tick_gc(ctx);
+                if let Some(gc) = &self.cfg.gc {
+                    let every = gc.every;
+                    self.arm_core_timer(ctx, every, CoreTimer::GcTick);
+                }
+            }
+            CoreTimer::ValidateTimeout { doc, req } => {
+                self.on_validate_timeout(ctx, &doc, req);
+            }
+            CoreTimer::RetryDoc { doc } => {
+                self.on_retry_timer(ctx, &doc);
+            }
+        }
+    }
+
+    fn on_user_cmd(&mut self, ctx: &mut Ctx<'_, Payload>, cmd: UserCmd) {
+        match cmd {
+            UserCmd::OpenDoc { doc, initial } => self.cmd_open_doc(ctx, doc, initial),
+            UserCmd::Edit { doc, new_text } => self.cmd_edit(ctx, &doc, &new_text),
+            UserCmd::Sync { doc } => self.cmd_sync(ctx, &doc),
+            UserCmd::Leave => {
+                self.graceful_leave(ctx);
+                ctx.halt_self();
+            }
+        }
+    }
+
+    /// Hand off timestamps and keys, then quit the ring.
+    pub(crate) fn graceful_leave(&mut self, ctx: &mut Ctx<'_, Payload>) {
+        // 1. Timestamp table to the successor (it becomes the new master).
+        let succ = self.chord.successor();
+        if succ.addr != self.me.addr {
+            let (entries, acts) = self.kts.export_all();
+            self.apply_master_actions(ctx, acts);
+            if !entries.is_empty() {
+                let count = entries.len();
+                ctx.send(succ.addr, Payload::Kts(kts::KtsMsg::TableHandoff { entries }));
+                self.record(ctx.now(), LtrEventKind::TableHandedOff { count });
+            }
+        }
+        // 2. DHT keys + ring splice.
+        let actions = self.chord.leave(ctx.now());
+        self.apply_chord_actions(ctx, actions);
+    }
+}
+
+impl Process<Payload> for LtrNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Payload>) {
+        if self.start_delay.is_zero() {
+            self.start_network(ctx);
+        } else {
+            let delay = self.start_delay;
+            self.arm_core_timer(ctx, delay, CoreTimer::Start);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Payload>, from: NodeId, msg: Payload) {
+        match msg {
+            Payload::Chord(m) => {
+                let actions = self.chord.handle(ctx.now(), from, m);
+                self.apply_chord_actions(ctx, actions);
+            }
+            Payload::Kts(m) => self.on_kts_msg(ctx, from, m),
+            Payload::Cmd(cmd) => self.on_user_cmd(ctx, cmd),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Payload>, tag: u64) {
+        if tag & 1 == 0 {
+            // Chord namespace.
+            if let Some(t) = ChordTimer::decode(tag >> 1) {
+                let actions = self.chord.on_timer(ctx.now(), t);
+                self.apply_chord_actions(ctx, actions);
+            }
+        } else if let Some(timer) = self.timer_tags.remove(&tag) {
+            self.on_core_timer(ctx, timer);
+        }
+    }
+
+    fn on_stop(&mut self, ctx: &mut Ctx<'_, Payload>) {
+        if self.chord.is_joined() {
+            self.graceful_leave(ctx);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Master-side wiring: KTS message handling, publish fan-out, last-ts
+//! backups, and log-probe recovery.
+
+use kts::{KtsMsg, MasterAction, MasterEvent};
+use p2plog::{LogProbe, PublishTracker};
+use simnet::{Ctx, NodeId};
+
+use crate::events::LtrEventKind;
+use crate::node::{LtrNode, OpPurpose, ProbeCtx, PublishCtx};
+use crate::payload::Payload;
+
+impl LtrNode {
+    /// Route an incoming KTS message.
+    pub(crate) fn on_kts_msg(&mut self, ctx: &mut Ctx<'_, Payload>, _from: NodeId, msg: KtsMsg) {
+        match msg {
+            KtsMsg::Validate {
+                op,
+                key,
+                key_name,
+                proposed_ts,
+                patch,
+                user,
+            } => {
+                let responsible = self.chord.is_responsible(key);
+                ctx.metrics().incr("kts.validate_received");
+                let acts = self.kts.on_validate(
+                    key,
+                    &key_name,
+                    op,
+                    proposed_ts,
+                    patch,
+                    user,
+                    responsible,
+                );
+                self.apply_master_actions(ctx, acts);
+            }
+            KtsMsg::LastTs { op, key, user } => {
+                let acts = self.kts.on_last_ts(key, op, user);
+                self.apply_master_actions(ctx, acts);
+            }
+            KtsMsg::ReplicateEntry {
+                key,
+                key_name,
+                last_ts,
+                epoch,
+            } => {
+                self.kts.on_replicate_entry(kts::HandoffEntry {
+                    key,
+                    key_name,
+                    last_ts,
+                    epoch,
+                });
+                ctx.metrics().incr("kts.backup_entries_received");
+            }
+            KtsMsg::TableHandoff { entries } => {
+                let count = entries.len();
+                let acts = self.kts.on_table_handoff(entries);
+                self.apply_master_actions(ctx, acts);
+                self.record(ctx.now(), LtrEventKind::TableReceived { count });
+            }
+            // Replies to *our* user-side requests.
+            KtsMsg::Granted { op, ts } => self.on_validate_granted(ctx, op, ts),
+            KtsMsg::Retry { op, last_ts } => self.on_validate_retry(ctx, op, last_ts),
+            KtsMsg::Redirect { op } => self.on_validate_redirect(ctx, op),
+            KtsMsg::Failed { op, reason } => self.on_validate_failed(ctx, op, reason),
+            KtsMsg::LastTsReply { op, key: _, last_ts } => {
+                self.on_lastts_reply(ctx, op, last_ts);
+            }
+        }
+    }
+
+    /// Execute the effects requested by the KTS master state machine.
+    pub(crate) fn apply_master_actions(
+        &mut self,
+        ctx: &mut Ctx<'_, Payload>,
+        actions: Vec<MasterAction>,
+    ) {
+        for act in actions {
+            match act {
+                MasterAction::Send(to, msg) => ctx.send(to, Payload::Kts(msg)),
+                MasterAction::BeginPublish {
+                    token,
+                    key: _,
+                    key_name,
+                    ts,
+                    patch,
+                } => {
+                    self.begin_publish(ctx, token, &key_name, ts, patch);
+                }
+                MasterAction::BeginProbe {
+                    token,
+                    key: _,
+                    key_name,
+                } => {
+                    let probe =
+                        LogProbe::new(key_name, 0, self.cfg.log.replication);
+                    self.probes.insert(token, ProbeCtx { probe });
+                    ctx.metrics().incr("kts.probes_started");
+                    self.pump_probe(ctx, token);
+                }
+                MasterAction::ReplicateToSucc { entry } => {
+                    let succ = self.chord.successor();
+                    if succ.addr != self.me.addr {
+                        ctx.send(
+                            succ.addr,
+                            Payload::Kts(KtsMsg::ReplicateEntry {
+                                key: entry.key,
+                                key_name: entry.key_name,
+                                last_ts: entry.last_ts,
+                                epoch: entry.epoch,
+                            }),
+                        );
+                    }
+                }
+                MasterAction::Event(ev) => self.on_master_event(ctx, ev),
+            }
+        }
+    }
+
+    /// Start the log replication of a freshly granted patch:
+    /// `Put(h_i(key+ts), record)` for every replication hash, first-writer
+    /// mode (the log arbitrates duelling masters).
+    fn begin_publish(
+        &mut self,
+        ctx: &mut Ctx<'_, Payload>,
+        token: u64,
+        doc: &str,
+        ts: u64,
+        patch: bytes::Bytes,
+    ) {
+        let n = self.cfg.log.replication;
+        // Author for bookkeeping: patches are self-describing.
+        let author = ot::decode_patch(&patch).map(|p| p.author).unwrap_or(0);
+        let record = p2plog::LogRecord::new(doc, ts, author, patch);
+        let bytes = record.encode();
+        let tracker = PublishTracker::new(n, self.cfg.log.ack_policy);
+        // Register the tracker *before* issuing puts: a put to a key we own
+        // completes synchronously.
+        self.publishes.insert(token, PublishCtx { tracker });
+        ctx.metrics().incr("log.publishes");
+        for key in p2plog::log_locations(n, doc, ts) {
+            self.issue_log_put(ctx, token, key, bytes.clone());
+        }
+    }
+
+    /// Drive a probe: issue its next fetch or complete it.
+    pub(crate) fn pump_probe(&mut self, ctx: &mut Ctx<'_, Payload>, token: u64) {
+        let cmd = match self.probes.get(&token) {
+            Some(p) => p.probe.next_cmd(),
+            None => return,
+        };
+        match cmd {
+            Some(cmd) => {
+                let (op, actions) = self.chord.get(ctx.now(), cmd.key);
+                self.chord_ops.insert(op, OpPurpose::ProbeFetch { token });
+                self.apply_chord_actions(ctx, actions);
+            }
+            None => {
+                let result = self
+                    .probes
+                    .remove(&token)
+                    .and_then(|p| p.probe.result())
+                    .unwrap_or(0);
+                let acts = self.kts.probe_done(token, result);
+                self.apply_master_actions(ctx, acts);
+            }
+        }
+    }
+
+    /// A probe fetch returned.
+    pub(crate) fn on_probe_result(
+        &mut self,
+        ctx: &mut Ctx<'_, Payload>,
+        token: u64,
+        present: bool,
+    ) {
+        if let Some(p) = self.probes.get_mut(&token) {
+            p.probe.on_result(present);
+        }
+        self.pump_probe(ctx, token);
+    }
+
+    fn on_master_event(&mut self, ctx: &mut Ctx<'_, Payload>, ev: MasterEvent) {
+        let now = ctx.now();
+        match ev {
+            MasterEvent::Granted { key: _, doc, ts } => {
+                ctx.metrics().incr("kts.grants");
+                self.record(now, LtrEventKind::MasterGranted { doc, ts });
+            }
+            MasterEvent::StaleDetected { key } => {
+                ctx.metrics().incr("kts.stale_detected");
+                self.record(now, LtrEventKind::StaleMasterStoodDown { doc_key: key });
+            }
+            MasterEvent::Promoted { count } => {
+                ctx.metrics().incr_by("kts.backups_promoted", count as u64);
+                self.record(now, LtrEventKind::BackupsPromoted { count });
+            }
+            MasterEvent::HandedOff { count } => {
+                ctx.metrics().incr_by("kts.entries_handed_off", count as u64);
+            }
+            MasterEvent::HandoffReceived { count } => {
+                ctx.metrics()
+                    .incr_by("kts.entries_handoff_received", count as u64);
+            }
+        }
+    }
+
+}

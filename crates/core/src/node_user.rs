@@ -1,0 +1,617 @@
+//! User-peer procedures (RR-6497 §3):
+//!
+//! 1. **Edit a page locally** — produces a tentative patch (diff of the
+//!    save against the working copy);
+//! 2. **Validate the tentative patch timestamp** — locate the Master-key
+//!    via `ht(doc)`, send `Validate(proposed_ts = local ts)`; on `Retry`,
+//!    run the **retrieval procedure** (continuous order, replica fallback),
+//!    integrate via the OT engine, and re-validate "until last-ts equals
+//!    ts";
+//! 3. The master replicates the patch at the P2P-Log and acks with the
+//!    validated timestamp.
+//!
+//! Plus anti-entropy: idle replicas periodically ask the master for
+//! `last_ts(key)` and pull what they miss.
+
+use bytes::Bytes;
+
+use kts::{KtsMsg, ReqId, ValidateFailure};
+use ot::Document;
+use p2plog::{LogRecord, RetrieveEvent, Retriever};
+use simnet::Ctx;
+
+use crate::events::LtrEventKind;
+use crate::node::{CoreTimer, DocState, InflightValidate, LtrNode, OpPurpose, RetrState, UserPhase};
+use crate::payload::Payload;
+
+impl LtrNode {
+    // ---- commands ---------------------------------------------------------
+
+    pub(crate) fn cmd_open_doc(&mut self, ctx: &mut Ctx<'_, Payload>, doc: String, initial: String) {
+        if self.docs.contains_key(&doc) {
+            return;
+        }
+        let replica = ot::Replica::new(self.site, Document::from_text(&initial));
+        self.docs.insert(
+            doc.clone(),
+            DocState {
+                name: doc,
+                replica,
+                phase: UserPhase::Idle,
+                inflight: None,
+                retr: None,
+                cycle_started: None,
+            },
+        );
+        ctx.metrics().incr("ltr.docs_opened");
+    }
+
+    pub(crate) fn cmd_edit(&mut self, ctx: &mut Ctx<'_, Payload>, doc: &str, new_text: &str) {
+        let now = ctx.now();
+        let state = match self.docs.get_mut(doc) {
+            Some(s) => s,
+            None => return, // not open here
+        };
+        ctx.metrics().incr("ltr.edits");
+        // Edits accumulate into the pending patch immediately (SOCT4: local
+        // operations apply at once; only their *publication* is serialized).
+        let target = Document::from_text(new_text);
+        let no_op = state
+            .replica
+            .edit(&target)
+            .map(|p| p.is_empty())
+            .unwrap_or(true);
+        if state.phase == UserPhase::Idle {
+            if no_op {
+                return;
+            }
+            state.cycle_started = Some(now);
+            self.start_validation(ctx, doc);
+        }
+        // Otherwise the in-flight cycle continues; the enlarged pending
+        // patch publishes its remainder on the next cycle.
+    }
+
+    pub(crate) fn cmd_sync(&mut self, ctx: &mut Ctx<'_, Payload>, doc: &str) {
+        let state = match self.docs.get_mut(doc) {
+            Some(s) => s,
+            None => return,
+        };
+        if state.phase != UserPhase::Idle {
+            return;
+        }
+        self.issue_sync_lookup(ctx, doc);
+    }
+
+    /// Anti-entropy tick: probe the master of every idle open document.
+    pub(crate) fn tick_sync(&mut self, ctx: &mut Ctx<'_, Payload>) {
+        if !self.chord.is_joined() {
+            return;
+        }
+        let idle_docs: Vec<String> = self
+            .docs
+            .values()
+            .filter(|d| d.phase == UserPhase::Idle)
+            .map(|d| d.name.clone())
+            .collect();
+        for doc in idle_docs {
+            self.issue_sync_lookup(ctx, &doc);
+        }
+    }
+
+    fn issue_sync_lookup(&mut self, ctx: &mut Ctx<'_, Payload>, doc: &str) {
+        let key = p2plog::ht(doc);
+        let (op, actions) = self.chord.lookup(ctx.now(), key);
+        self.chord_ops
+            .insert(op, OpPurpose::SyncLookup { doc: doc.to_owned() });
+        self.apply_chord_actions(ctx, actions);
+    }
+
+    // ---- the validation procedure ------------------------------------------
+
+    /// Begin (or restart) the publish cycle: locate the Master-key peer.
+    pub(crate) fn start_validation(&mut self, ctx: &mut Ctx<'_, Payload>, doc: &str) {
+        let state = match self.docs.get_mut(doc) {
+            Some(s) => s,
+            None => return,
+        };
+        debug_assert!(state.replica.pending().is_some(), "nothing to validate");
+        state.phase = UserPhase::LocateMaster;
+        let key = p2plog::ht(doc);
+        let (op, actions) = self.chord.lookup(ctx.now(), key);
+        self.chord_ops
+            .insert(op, OpPurpose::MasterLookup { doc: doc.to_owned() });
+        self.apply_chord_actions(ctx, actions);
+    }
+
+    /// The master lookup for a validation resolved.
+    pub(crate) fn on_master_located(
+        &mut self,
+        ctx: &mut Ctx<'_, Payload>,
+        doc: &str,
+        master: chord::NodeRef,
+    ) {
+        let me = self.me;
+        let req = self.next_req();
+        let timeout = self.cfg.validate_timeout;
+        let state = match self.docs.get_mut(doc) {
+            Some(s) => s,
+            None => return,
+        };
+        if state.phase != UserPhase::LocateMaster {
+            return; // stale completion
+        }
+        let pending = match state.replica.tentative_for_publish() {
+            Some(p) => p,
+            None => {
+                state.phase = UserPhase::Idle;
+                return;
+            }
+        };
+        let bytes = Bytes::from(ot::encode_patch(&pending));
+        let proposed_ts = state.replica.ts;
+        let attempts = state.inflight.as_ref().map(|i| i.attempts).unwrap_or(0);
+        state.inflight = Some(InflightValidate {
+            req,
+            bytes: bytes.clone(),
+            op_count: pending.len(),
+            attempts,
+        });
+        state.phase = UserPhase::Validating;
+        self.validate_reqs.insert(req, doc.to_owned());
+        ctx.send(
+            master.addr,
+            Payload::Kts(KtsMsg::Validate {
+                op: req,
+                key: p2plog::ht(doc),
+                key_name: doc.to_owned(),
+                proposed_ts,
+                patch: bytes,
+                user: me,
+            }),
+        );
+        ctx.metrics().incr("ltr.validate_sent");
+        self.arm_core_timer(
+            ctx,
+            timeout,
+            CoreTimer::ValidateTimeout {
+                doc: doc.to_owned(),
+                req,
+            },
+        );
+    }
+
+    /// `Granted{ts}`: our tentative patch is in the log with `ts`.
+    pub(crate) fn on_validate_granted(&mut self, ctx: &mut Ctx<'_, Payload>, req: ReqId, ts: u64) {
+        let doc = match self.validate_reqs.remove(&req) {
+            Some(d) => d,
+            None => return, // stale
+        };
+        let now = ctx.now();
+        let state = match self.docs.get_mut(&doc) {
+            Some(s) => s,
+            None => return,
+        };
+        if state.phase != UserPhase::Validating {
+            return;
+        }
+        // Accept only the expected next timestamp; anything else means our
+        // state moved on (e.g. duplicate grant after a resend race).
+        if ts != state.replica.ts + 1 {
+            return;
+        }
+        let prefix = state
+            .inflight
+            .as_ref()
+            .map(|i| i.op_count)
+            .unwrap_or_else(|| state.replica.pending().map(|p| p.len()).unwrap_or(0));
+        state
+            .replica
+            .acknowledge_own_prefix(ts, prefix)
+            .expect("own patch must apply to its base");
+        state.inflight = None;
+        state.phase = UserPhase::Idle;
+        let latency_ms = state
+            .cycle_started
+            .take()
+            .map(|t0| now.since(t0).as_millis_f64())
+            .unwrap_or(0.0);
+        ctx.metrics().incr("ltr.publish_ok");
+        ctx.metrics().record("ltr.publish_latency_ms", latency_ms);
+        self.record(
+            now,
+            LtrEventKind::OwnPublished {
+                doc: doc.clone(),
+                ts,
+                latency_ms,
+            },
+        );
+        self.record(now, LtrEventKind::Integrated { doc: doc.clone(), ts, own: true });
+        self.resume_after_cycle(ctx, &doc);
+    }
+
+    /// `Retry{last_ts}`: we are behind — retrieve, integrate, re-validate.
+    pub(crate) fn on_validate_retry(
+        &mut self,
+        ctx: &mut Ctx<'_, Payload>,
+        req: ReqId,
+        last_ts: u64,
+    ) {
+        let doc = match self.validate_reqs.remove(&req) {
+            Some(d) => d,
+            None => return,
+        };
+        let now = ctx.now();
+        let state = match self.docs.get_mut(&doc) {
+            Some(s) => s,
+            None => return,
+        };
+        if state.phase != UserPhase::Validating {
+            return;
+        }
+        ctx.metrics().incr("ltr.validate_retry");
+        self.record(
+            now,
+            LtrEventKind::RetriedBehind {
+                doc: doc.clone(),
+                master_last_ts: last_ts,
+            },
+        );
+        self.begin_retrieval(ctx, &doc, last_ts, true);
+    }
+
+    /// `Redirect`: the node we asked is not the master (any more).
+    pub(crate) fn on_validate_redirect(&mut self, ctx: &mut Ctx<'_, Payload>, req: ReqId) {
+        let doc = match self.validate_reqs.remove(&req) {
+            Some(d) => d,
+            None => return,
+        };
+        let now = ctx.now();
+        ctx.metrics().incr("ltr.validate_redirect");
+        self.record(now, LtrEventKind::Redirected { doc: doc.clone() });
+        self.bump_attempts_and_retry(ctx, &doc);
+    }
+
+    /// `Failed`: operational failure at the master.
+    pub(crate) fn on_validate_failed(
+        &mut self,
+        ctx: &mut Ctx<'_, Payload>,
+        req: ReqId,
+        _reason: ValidateFailure,
+    ) {
+        let doc = match self.validate_reqs.remove(&req) {
+            Some(d) => d,
+            None => return,
+        };
+        ctx.metrics().incr("ltr.validate_failed");
+        self.bump_attempts_and_retry(ctx, &doc);
+    }
+
+    /// The validation went unanswered (master crashed?): retry via a fresh
+    /// master lookup, keeping the same proposed_ts and patch bytes.
+    pub(crate) fn on_validate_timeout(&mut self, ctx: &mut Ctx<'_, Payload>, doc: &str, req: ReqId) {
+        let still_waiting = self
+            .docs
+            .get(doc)
+            .and_then(|s| s.inflight.as_ref())
+            .is_some_and(|i| i.req == req)
+            && self.docs.get(doc).is_some_and(|s| s.phase == UserPhase::Validating);
+        if !still_waiting {
+            return;
+        }
+        self.validate_reqs.remove(&req);
+        ctx.metrics().incr("ltr.validate_timeout");
+        self.bump_attempts_and_retry(ctx, doc);
+    }
+
+    fn bump_attempts_and_retry(&mut self, ctx: &mut Ctx<'_, Payload>, doc: &str) {
+        let max = self.cfg.max_validate_attempts;
+        let state = match self.docs.get_mut(doc) {
+            Some(s) => s,
+            None => return,
+        };
+        let attempts = state
+            .inflight
+            .as_mut()
+            .map(|i| {
+                i.attempts += 1;
+                i.attempts
+            })
+            .unwrap_or(max);
+        if attempts >= max {
+            self.backoff_doc(ctx, doc);
+        } else {
+            // Give stabilization a moment, then re-locate the master.
+            state.phase = UserPhase::Idle; // will be set by start_validation
+            self.start_validation(ctx, doc);
+        }
+    }
+
+    /// Park the document and retry after the backoff.
+    pub(crate) fn backoff_doc(&mut self, ctx: &mut Ctx<'_, Payload>, doc: &str) {
+        let backoff = self.cfg.retry_backoff;
+        let now = ctx.now();
+        if let Some(state) = self.docs.get_mut(doc) {
+            state.phase = UserPhase::Backoff;
+            state.retr = None;
+        }
+        ctx.metrics().incr("ltr.cycle_backoff");
+        self.record(now, LtrEventKind::CycleBackedOff { doc: doc.to_owned() });
+        self.arm_core_timer(ctx, backoff, CoreTimer::RetryDoc { doc: doc.to_owned() });
+    }
+
+    /// Backoff expired: resume whatever is unfinished.
+    pub(crate) fn on_retry_timer(&mut self, ctx: &mut Ctx<'_, Payload>, doc: &str) {
+        let state = match self.docs.get_mut(doc) {
+            Some(s) => s,
+            None => return,
+        };
+        if state.phase != UserPhase::Backoff {
+            return;
+        }
+        state.phase = UserPhase::Idle;
+        if let Some(inf) = &mut state.inflight {
+            inf.attempts = 0;
+        }
+        if state.replica.pending().is_some() {
+            self.start_validation(ctx, doc);
+        } else {
+            self.resume_after_cycle(ctx, doc);
+        }
+    }
+
+    /// A cycle finished: publish any pending remainder (edits saved while
+    /// the previous cycle was in flight).
+    pub(crate) fn resume_after_cycle(&mut self, ctx: &mut Ctx<'_, Payload>, doc: &str) {
+        let now = ctx.now();
+        let state = match self.docs.get_mut(doc) {
+            Some(s) => s,
+            None => return,
+        };
+        debug_assert_eq!(state.phase, UserPhase::Idle);
+        if state.replica.pending().is_some() {
+            state.cycle_started = Some(now);
+            self.start_validation(ctx, doc);
+        }
+    }
+
+    // ---- the retrieval procedure --------------------------------------------
+
+    /// Fetch `(replica.ts, to_ts]` in continuous order.
+    pub(crate) fn begin_retrieval(
+        &mut self,
+        ctx: &mut Ctx<'_, Payload>,
+        doc: &str,
+        to_ts: u64,
+        resume_validate: bool,
+    ) {
+        let n = self.cfg.log.replication;
+        let window = self.cfg.log.pipeline_window;
+        let state = match self.docs.get_mut(doc) {
+            Some(s) => s,
+            None => return,
+        };
+        if to_ts <= state.replica.ts {
+            state.phase = UserPhase::Idle;
+            if resume_validate && state.replica.pending().is_some() {
+                self.start_validation(ctx, doc);
+            }
+            return;
+        }
+        let mut retriever = Retriever::new(doc, state.replica.ts, to_ts, n, window);
+        let cmds = retriever.start();
+        state.phase = UserPhase::Retrieving;
+        state.retr = Some(RetrState {
+            retriever,
+            resume_validate,
+            first_record_pending: true,
+        });
+        ctx.metrics().incr("ltr.retrievals");
+        for cmd in cmds {
+            self.issue_log_fetch(ctx, doc, cmd.ts, cmd.hash_idx, cmd.key);
+        }
+    }
+
+    /// One retrieval fetch returned (value or miss).
+    pub(crate) fn on_log_fetch_result(
+        &mut self,
+        ctx: &mut Ctx<'_, Payload>,
+        doc: &str,
+        ts: u64,
+        hash_idx: usize,
+        found: Option<Bytes>,
+    ) {
+        let state = match self.docs.get_mut(doc) {
+            Some(s) => s,
+            None => return,
+        };
+        let retr = match &mut state.retr {
+            Some(r) if state.phase == UserPhase::Retrieving => r,
+            _ => return, // stale fetch completion
+        };
+        let (cmds, evs) = retr.retriever.on_fetch_result(ts, hash_idx, found);
+        for cmd in cmds {
+            self.issue_log_fetch(ctx, doc, cmd.ts, cmd.hash_idx, cmd.key);
+        }
+        for ev in evs {
+            match ev {
+                RetrieveEvent::Deliver { ts, bytes } => {
+                    if !self.integrate_record(ctx, doc, ts, &bytes) {
+                        // Divergence or decode failure: abort this retrieval.
+                        self.backoff_doc(ctx, doc);
+                        return;
+                    }
+                }
+                RetrieveEvent::Failed { ts } => {
+                    let now = ctx.now();
+                    ctx.metrics().incr("ltr.retrieval_stalled");
+                    self.record(
+                        now,
+                        LtrEventKind::RetrievalStalled {
+                            doc: doc.to_owned(),
+                            ts,
+                        },
+                    );
+                    self.backoff_doc(ctx, doc);
+                    return;
+                }
+                RetrieveEvent::Done => {
+                    let state = self.docs.get_mut(doc).expect("doc exists");
+                    let resume = state
+                        .retr
+                        .take()
+                        .map(|r| r.resume_validate)
+                        .unwrap_or(false);
+                    state.phase = UserPhase::Idle;
+                    if resume && state.replica.pending().is_some() {
+                        self.start_validation(ctx, doc);
+                    } else {
+                        self.resume_after_cycle(ctx, doc);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Integrate one retrieved record in continuous order. Returns false on
+    /// unrecoverable decode/apply errors.
+    fn integrate_record(
+        &mut self,
+        ctx: &mut Ctx<'_, Payload>,
+        doc: &str,
+        ts: u64,
+        bytes: &Bytes,
+    ) -> bool {
+        let now = ctx.now();
+        let state = match self.docs.get_mut(doc) {
+            Some(s) => s,
+            None => return false,
+        };
+        let rec = match LogRecord::decode(bytes) {
+            Ok(r) => r,
+            Err(e) => {
+                ctx.metrics().incr("ltr.record_decode_error");
+                let _ = e;
+                return false;
+            }
+        };
+        debug_assert_eq!(rec.ts, ts);
+        // Own-record detection: our previous validation may have been
+        // granted with the ack lost. It can only sit at proposed_ts + 1,
+        // i.e. the *first* record of this retrieval.
+        let first = state
+            .retr
+            .as_mut()
+            .map(|r| std::mem::replace(&mut r.first_record_pending, false))
+            .unwrap_or(false);
+        if first {
+            if let Some(inf) = &state.inflight {
+                if rec.patch == inf.bytes && ts == state.replica.ts + 1 {
+                    let prefix = inf.op_count;
+                    state
+                        .replica
+                        .acknowledge_own_prefix(ts, prefix)
+                        .expect("own patch must apply");
+                    state.inflight = None;
+                    ctx.metrics().incr("ltr.own_record_recovered");
+                    let latency_ms = state
+                        .cycle_started
+                        .take()
+                        .map(|t0| now.since(t0).as_millis_f64())
+                        .unwrap_or(0.0);
+                    self.record(
+                        now,
+                        LtrEventKind::OwnPublished {
+                            doc: doc.to_owned(),
+                            ts,
+                            latency_ms,
+                        },
+                    );
+                    self.record(
+                        now,
+                        LtrEventKind::Integrated {
+                            doc: doc.to_owned(),
+                            ts,
+                            own: true,
+                        },
+                    );
+                    return true;
+                }
+            }
+            // Not our record: the in-flight request was never granted; its
+            // bytes are about to become stale (the pending patch rebases).
+            state.inflight = None;
+        }
+        let patch = match ot::decode_patch(&rec.patch) {
+            Ok(p) => p,
+            Err(_) => {
+                ctx.metrics().incr("ltr.record_decode_error");
+                return false;
+            }
+        };
+        match state.replica.integrate_remote(ts, &patch) {
+            Ok(()) => {
+                ctx.metrics().incr("ltr.integrated");
+                self.record(
+                    now,
+                    LtrEventKind::Integrated {
+                        doc: doc.to_owned(),
+                        ts,
+                        own: false,
+                    },
+                );
+                true
+            }
+            Err(e) => {
+                // A transform bug or corrupted log — surface loudly.
+                ctx.metrics().incr("ltr.integrate_error");
+                panic!("replica divergence on {doc} ts {ts}: {e}");
+            }
+        }
+    }
+
+    // ---- anti-entropy reply ---------------------------------------------
+
+    /// Lookup for a sync probe resolved: ask the master for last_ts.
+    pub(crate) fn on_sync_master_located(
+        &mut self,
+        ctx: &mut Ctx<'_, Payload>,
+        doc: &str,
+        master: chord::NodeRef,
+    ) {
+        let me = self.me;
+        let req = self.next_req();
+        let state = match self.docs.get_mut(doc) {
+            Some(s) => s,
+            None => return,
+        };
+        if state.phase != UserPhase::Idle {
+            return;
+        }
+        self.lastts_reqs.insert(req, doc.to_owned());
+        ctx.send(
+            master.addr,
+            Payload::Kts(KtsMsg::LastTs {
+                op: req,
+                key: p2plog::ht(doc),
+                user: me,
+            }),
+        );
+    }
+
+    /// `LastTsReply`: pull anything we miss.
+    pub(crate) fn on_lastts_reply(&mut self, ctx: &mut Ctx<'_, Payload>, req: ReqId, last_ts: u64) {
+        let doc = match self.lastts_reqs.remove(&req) {
+            Some(d) => d,
+            None => return,
+        };
+        let behind = self
+            .docs
+            .get(&doc)
+            .is_some_and(|s| s.phase == UserPhase::Idle && last_ts > s.replica.ts);
+        if behind {
+            self.begin_retrieval(ctx, &doc, last_ts, false);
+        }
+    }
+}

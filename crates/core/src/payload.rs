@@ -1,0 +1,47 @@
+//! The composed wire payload of a P2P-LTR node, and the externally injected
+//! user commands.
+
+use chord::ChordMsg;
+use kts::KtsMsg;
+
+/// Everything a P2P-LTR node can receive.
+#[derive(Clone, Debug)]
+pub enum Payload {
+    /// DHT traffic (routing, storage, stabilization).
+    Chord(ChordMsg),
+    /// Timestamp-service traffic (validation, backups, handoffs).
+    Kts(KtsMsg),
+    /// Injected user/application commands (the "user peer" API surface).
+    Cmd(UserCmd),
+}
+
+/// Commands a user application issues against its local peer — the public
+/// API surface the examples and workloads drive.
+#[derive(Clone, Debug)]
+pub enum UserCmd {
+    /// Open (or create) a local replica of `doc` with the given initial
+    /// content at timestamp 0. Collaborating peers must open with identical
+    /// initial content (the shared primary copy).
+    OpenDoc {
+        /// Document name.
+        doc: String,
+        /// Initial text.
+        initial: String,
+    },
+    /// The user saved the document: record the edit as a tentative patch
+    /// and run the P2P-LTR publish cycle (validate → maybe retrieve →
+    /// publish).
+    Edit {
+        /// Document name (must be open).
+        doc: String,
+        /// Full new text after the save.
+        new_text: String,
+    },
+    /// Trigger an immediate anti-entropy sync for one document.
+    Sync {
+        /// Document name.
+        doc: String,
+    },
+    /// Leave the network gracefully (hand off keys, timestamps, storage).
+    Leave,
+}

@@ -1,0 +1,170 @@
+//! Peer and network status reports — the API equivalent of the prototype's
+//! monitoring GUI (Figure 3: "monitor the data stored at each peer, the
+//! keys for which the peer has generated a timestamp, etc.").
+
+use std::fmt;
+
+use chord::NodeRef;
+use simnet::Sim;
+
+use crate::node::LtrNode;
+use crate::payload::Payload;
+
+/// Snapshot of one peer's state.
+#[derive(Clone, Debug)]
+pub struct PeerReport {
+    /// The peer's identity.
+    pub me: NodeRef,
+    /// Ring neighbourhood.
+    pub predecessor: Option<NodeRef>,
+    /// Immediate successor.
+    pub successor: NodeRef,
+    /// Successor-list length currently held.
+    pub succ_list_len: usize,
+    /// Finger-table entries populated (of 64).
+    pub fingers_filled: usize,
+    /// DHT items stored as primary (log records and other values).
+    pub primary_items: usize,
+    /// DHT items held as replicas for predecessors.
+    pub replica_items: usize,
+    /// Keys this peer currently generates timestamps for, with last-ts.
+    pub mastered: Vec<(chord::Id, u64)>,
+    /// last-ts backups held for the predecessor master.
+    pub ts_backups: usize,
+    /// Documents open locally, with the replica's timestamp.
+    pub open_docs: Vec<(String, u64)>,
+    /// Timestamps this peer granted over its lifetime.
+    pub grants: usize,
+}
+
+impl fmt::Display for PeerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "peer {} (ring {}): pred={:?} succ={} | store {}p/{}r | masters {} key(s), {} backup(s), {} grant(s)",
+            self.me.addr,
+            self.me.id,
+            self.predecessor.map(|p| p.addr),
+            self.successor.addr,
+            self.primary_items,
+            self.replica_items,
+            self.mastered.len(),
+            self.ts_backups,
+            self.grants,
+        )?;
+        for (k, ts) in &self.mastered {
+            writeln!(f, "    masters {k} at last-ts {ts}")?;
+        }
+        for (doc, ts) in &self.open_docs {
+            writeln!(f, "    open {doc:?} at ts {ts}")?;
+        }
+        Ok(())
+    }
+}
+
+impl LtrNode {
+    /// Build a status snapshot of this peer.
+    pub fn report(&self) -> PeerReport {
+        PeerReport {
+            me: self.me(),
+            predecessor: self.chord().predecessor(),
+            successor: self.chord().successor(),
+            succ_list_len: self.chord().successor_list().len(),
+            fingers_filled: self.chord().finger_fill(),
+            primary_items: self.chord().storage().primary_len(),
+            replica_items: self.chord().storage().replica_len(),
+            mastered: self.kts().mastered_keys(),
+            ts_backups: self.kts().backup_count(),
+            open_docs: self
+                .open_docs()
+                .into_iter()
+                .map(|d| {
+                    let ts = self.doc_ts(&d).unwrap_or(0);
+                    (d, ts)
+                })
+                .collect(),
+            grants: self.grants().len(),
+        }
+    }
+}
+
+/// Snapshot of the whole network (live peers only).
+pub fn network_report(sim: &Sim<Payload>) -> Vec<PeerReport> {
+    sim.alive_nodes()
+        .into_iter()
+        .filter_map(|a| sim.node_as::<LtrNode>(a).map(|n| n.report()))
+        .collect()
+}
+
+/// Aggregate stats over a network report — the "dashboard header".
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NetworkSummary {
+    /// Live peers.
+    pub peers: usize,
+    /// Total primary items stored.
+    pub primary_items: usize,
+    /// Total replica items stored.
+    pub replica_items: usize,
+    /// Total mastered keys.
+    pub mastered_keys: usize,
+    /// Peers mastering at least one key.
+    pub active_masters: usize,
+    /// Total grants network-wide (live peers).
+    pub grants: usize,
+}
+
+/// Condense a report set.
+pub fn summarize(reports: &[PeerReport]) -> NetworkSummary {
+    NetworkSummary {
+        peers: reports.len(),
+        primary_items: reports.iter().map(|r| r.primary_items).sum(),
+        replica_items: reports.iter().map(|r| r.replica_items).sum(),
+        mastered_keys: reports.iter().map(|r| r.mastered.len()).sum(),
+        active_masters: reports.iter().filter(|r| !r.mastered.is_empty()).count(),
+        grants: reports.iter().map(|r| r.grants).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::LtrNet;
+    use crate::LtrConfig;
+    use simnet::{Duration, NetConfig};
+
+    #[test]
+    fn report_reflects_activity() {
+        let mut net = LtrNet::build(
+            31,
+            NetConfig::lan(),
+            6,
+            LtrConfig::default(),
+            Duration::from_millis(100),
+        );
+        net.settle(15);
+        let peers = net.peers.clone();
+        net.open_doc(&peers, "doc", "x");
+        net.settle(1);
+        net.edit(peers[0], "doc", "x\ny");
+        net.run_until_quiet(&["doc"], 60);
+        net.settle(5);
+
+        let reports = network_report(&net.sim);
+        assert_eq!(reports.len(), 6);
+        let summary = summarize(&reports);
+        assert_eq!(summary.peers, 6);
+        assert_eq!(summary.mastered_keys, 1, "one doc, one master key");
+        assert_eq!(summary.active_masters, 1);
+        assert_eq!(summary.grants, 1);
+        // Log records (n=3 by default) + eager/periodic replicas exist.
+        assert!(summary.primary_items >= 3, "{summary:?}");
+        assert!(summary.replica_items >= 1);
+        // Display does not panic and mentions the master.
+        let text: String = reports.iter().map(|r| r.to_string()).collect();
+        assert!(text.contains("masters"));
+        // Every peer has the doc open at ts 1.
+        for r in &reports {
+            assert_eq!(r.open_docs, vec![("doc".to_string(), 1)]);
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! End-to-end tests of the full P2P-LTR stack: Chord + KTS + P2P-Log + OT
+//! reconciliation, under the scenarios of RR-6497 §5.
+
+use p2p_ltr::consistency::{check_continuity, check_convergence, check_total_order};
+use p2p_ltr::harness::LtrNet;
+use p2p_ltr::LtrConfig;
+use simnet::{Duration, NetConfig};
+
+const DOC: &str = "wiki/Main";
+
+fn build(seed: u64, n: usize) -> LtrNet {
+    let mut net = LtrNet::build(
+        seed,
+        NetConfig::lan(),
+        n,
+        LtrConfig::default(),
+        Duration::from_millis(200),
+    );
+    net.settle(30); // ring + fingers stabilize
+    net
+}
+
+fn assert_all_clean(net: &LtrNet) {
+    let cont = check_continuity(&net.sim);
+    assert!(cont.is_clean(), "continuity violated: {cont:?}");
+    let order = check_total_order(&net.sim);
+    assert!(order.is_clean(), "total order violated: {order:?}");
+    let conv = check_convergence(&net.sim);
+    assert!(
+        conv.is_converged(),
+        "replicas diverged: busy={} variants={:?} ts={:?}",
+        conv.busy_replicas,
+        conv.variants,
+        conv.replica_ts
+    );
+}
+
+#[test]
+fn single_editor_single_doc() {
+    let mut net = build(1, 8);
+    let peers = net.peers.clone();
+    net.open_doc(&peers, DOC, "hello");
+    net.settle(1);
+    net.edit(peers[0], DOC, "hello\nworld");
+    net.settle(10);
+    assert!(net.run_until_quiet(&[DOC], 30), "did not quiesce");
+    // The edit was published with ts=1 and every replica pulled it.
+    let cont = check_continuity(&net.sim);
+    assert_eq!(cont.last_ts(DOC), 1, "grants: {:?}", cont.granted);
+    for p in &peers {
+        assert_eq!(
+            net.node(*p).doc_text(DOC).unwrap(),
+            "hello\nworld",
+            "replica at {p:?} stale"
+        );
+    }
+    assert_all_clean(&net);
+}
+
+#[test]
+fn two_concurrent_editors_converge() {
+    let mut net = build(2, 8);
+    let peers = net.peers.clone();
+    net.open_doc(&peers, DOC, "base");
+    net.settle(1);
+    // Concurrent saves from two different peers.
+    net.edit(peers[1], DOC, "base\nfrom-one");
+    net.edit(peers[5], DOC, "from-five\nbase");
+    net.settle(20);
+    assert!(net.run_until_quiet(&[DOC], 60), "did not quiesce");
+    let cont = check_continuity(&net.sim);
+    assert_eq!(cont.last_ts(DOC), 2, "both edits published: {:?}", cont.granted);
+    assert_all_clean(&net);
+    // Both contributions present.
+    let text = net.node(peers[0]).doc_text(DOC).unwrap();
+    assert!(text.contains("from-one") && text.contains("from-five"), "{text}");
+}
+
+#[test]
+fn many_concurrent_editors_one_doc() {
+    let mut net = build(3, 12);
+    let peers = net.peers.clone();
+    net.open_doc(&peers, DOC, "line-0");
+    net.settle(1);
+    for (i, p) in peers.iter().enumerate().take(6) {
+        net.edit(*p, DOC, &format!("edit-by-{i}\nline-0"));
+    }
+    net.settle(30);
+    assert!(net.run_until_quiet(&[DOC], 90), "did not quiesce");
+    let cont = check_continuity(&net.sim);
+    assert_eq!(cont.last_ts(DOC), 6, "grants: {:?}", cont.granted);
+    assert_all_clean(&net);
+    let text = net.node(peers[0]).doc_text(DOC).unwrap();
+    for i in 0..6 {
+        assert!(text.contains(&format!("edit-by-{i}")), "missing edit {i} in {text}");
+    }
+}
+
+#[test]
+fn sequential_edits_across_peers() {
+    let mut net = build(4, 6);
+    let peers = net.peers.clone();
+    net.open_doc(&peers, DOC, "v0");
+    net.settle(1);
+    for round in 0..5 {
+        let editor = peers[round % peers.len()];
+        let current = net.node(editor).doc_text(DOC).unwrap();
+        net.edit(editor, DOC, &format!("{current}\nround-{round}"));
+        assert!(net.run_until_quiet(&[DOC], 60), "round {round} stuck");
+        net.settle(3); // let anti-entropy propagate before the next editor
+    }
+    assert!(net.run_until_quiet(&[DOC], 60));
+    net.settle(5);
+    let cont = check_continuity(&net.sim);
+    assert_eq!(cont.last_ts(DOC), 5);
+    assert_all_clean(&net);
+    let text = net.node(peers[0]).doc_text(DOC).unwrap();
+    for round in 0..5 {
+        assert!(text.contains(&format!("round-{round}")));
+    }
+}
+
+#[test]
+fn documents_distribute_over_masters() {
+    let mut net = build(5, 16);
+    let peers = net.peers.clone();
+    let docs: Vec<String> = (0..24).map(|i| format!("wiki/page-{i}")).collect();
+    for d in &docs {
+        net.open_doc(&peers[..4], d, "seed");
+    }
+    net.settle(2);
+    for (i, d) in docs.iter().enumerate() {
+        net.edit(peers[i % 4], d, &format!("seed\nedit-{i}"));
+    }
+    let doc_refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+    assert!(net.run_until_quiet(&doc_refs, 90), "did not quiesce");
+    net.settle(10); // anti-entropy propagates to passive replicas
+    assert_all_clean(&net);
+    // Masters are spread: more than one node granted timestamps.
+    let mut granting_nodes = 0;
+    for p in &net.alive_peers() {
+        if !net.node(*p).grants().is_empty() {
+            granting_nodes += 1;
+        }
+    }
+    assert!(
+        granting_nodes >= 3,
+        "only {granting_nodes} masters for 24 docs over 16 peers"
+    );
+}
+
+#[test]
+fn master_crash_takeover_preserves_continuity() {
+    let mut net = build(6, 10);
+    let peers = net.peers.clone();
+    net.open_doc(&peers, DOC, "start");
+    net.settle(1);
+    // Two edits establish state (ts=1,2) and populate the succ backup.
+    net.edit(peers[0], DOC, "start\none");
+    assert!(net.run_until_quiet(&[DOC], 60));
+    net.settle(5);
+    net.edit(peers[1], DOC, "start\none\ntwo");
+    assert!(net.run_until_quiet(&[DOC], 60));
+    net.settle(5);
+
+    // Kill the current master of the document.
+    let master = net.master_of(DOC);
+    net.crash(master);
+    net.settle(15); // failure detection + stabilization + promotion
+
+    // Editing continues; the successor must grant ts=3 (continuity).
+    let editor = peers.iter().find(|p| p.addr != master.addr).copied().unwrap();
+    let cur = net.node(editor).doc_text(DOC).unwrap();
+    net.edit(editor, DOC, &format!("{cur}\nthree"));
+    assert!(net.run_until_quiet(&[DOC], 90), "stuck after master crash");
+    net.settle(10);
+
+    let cont = check_continuity(&net.sim);
+    assert!(cont.is_clean(), "continuity after takeover: {cont:?}");
+    assert_eq!(cont.last_ts(DOC), 3);
+    let order = check_total_order(&net.sim);
+    assert!(order.is_clean(), "{order:?}");
+    // All *live* replicas converge.
+    let conv = check_convergence(&net.sim);
+    assert!(conv.is_converged(), "{conv:?}");
+}
+
+#[test]
+fn master_graceful_leave_hands_over_timestamps() {
+    let mut net = build(7, 10);
+    let peers = net.peers.clone();
+    net.open_doc(&peers, DOC, "a");
+    net.settle(1);
+    net.edit(peers[2], DOC, "a\nb");
+    assert!(net.run_until_quiet(&[DOC], 60));
+    net.settle(5);
+
+    let master = net.master_of(DOC);
+    net.leave(master);
+    net.settle(10);
+
+    // The new master (old successor) continues the sequence at 2.
+    let editor = peers.iter().find(|p| p.addr != master.addr).copied().unwrap();
+    let cur = net.node(editor).doc_text(DOC).unwrap();
+    net.edit(editor, DOC, &format!("{cur}\nc"));
+    assert!(net.run_until_quiet(&[DOC], 60), "stuck after graceful leave");
+    net.settle(10);
+
+    let cont = check_continuity(&net.sim);
+    assert!(cont.is_clean(), "{cont:?}");
+    assert_eq!(cont.last_ts(DOC), 2);
+    let conv = check_convergence(&net.sim);
+    assert!(conv.is_converged(), "{conv:?}");
+    // The handoff actually happened.
+    let handed = net.sim.metrics().counter("kts.entries_handed_off");
+    assert!(handed >= 1, "no timestamp handoff recorded");
+}
+
+#[test]
+fn new_master_join_takes_over_key() {
+    let mut net = build(8, 8);
+    let peers = net.peers.clone();
+    net.open_doc(&peers, DOC, "x");
+    net.settle(1);
+    net.edit(peers[0], DOC, "x\ny");
+    assert!(net.run_until_quiet(&[DOC], 60));
+    net.settle(5);
+
+    let old_master = net.master_of(DOC);
+    // Craft a joiner that lands between the doc key and the old master so
+    // it becomes the new master: search a name whose hash is in range.
+    let key = p2plog::ht(DOC);
+    let mut joiner_name = None;
+    for i in 0..50_000 {
+        let name = format!("joiner-{i}");
+        let id = chord::Id::hash(name.as_bytes());
+        if id.in_half_open(key, old_master.id) && id != old_master.id {
+            joiner_name = Some(name);
+            break;
+        }
+    }
+    let joiner_name = joiner_name.expect("found a splitting id");
+    let joiner = net.add_peer(&joiner_name);
+    net.settle(20); // join + stabilization + handoff
+
+    assert_eq!(
+        net.master_of(DOC).id,
+        joiner.id,
+        "joiner did not become master"
+    );
+    // Continuity across the join handoff.
+    let editor = peers[3];
+    let cur = net.node(editor).doc_text(DOC).unwrap();
+    net.edit(editor, DOC, &format!("{cur}\nz"));
+    assert!(net.run_until_quiet(&[DOC], 60), "stuck after join");
+    net.settle(10);
+    let cont = check_continuity(&net.sim);
+    assert!(cont.is_clean(), "{cont:?}");
+    assert_eq!(cont.last_ts(DOC), 2);
+    // The joiner granted the second timestamp.
+    assert!(
+        !net.node(joiner).grants().is_empty(),
+        "joiner never granted"
+    );
+    assert!(check_convergence(&net.sim).is_converged());
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let run = |seed: u64| {
+        let mut net = build(seed, 8);
+        let peers = net.peers.clone();
+        net.open_doc(&peers, DOC, "d");
+        net.settle(1);
+        net.edit(peers[0], DOC, "d\ne0");
+        net.edit(peers[4], DOC, "e4\nd");
+        net.run_until_quiet(&[DOC], 60);
+        net.settle(5);
+        (
+            net.sim.metrics().counter("sim.msgs_delivered"),
+            net.sim.metrics().counter("kts.grants"),
+            net.node(peers[0]).doc_text(DOC),
+        )
+    };
+    assert_eq!(run(99), run(99));
+}

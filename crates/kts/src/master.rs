@@ -1,0 +1,955 @@
+//! The Master-key peer: continuous per-key timestamp generation with
+//! sequential service, Master-Succ backup, takeover, and log-probe recovery.
+//!
+//! Behavioural contract from RR-6497 §3:
+//!
+//! * `gen_ts(key)` — monotonic **and continuous**: consecutive timestamps
+//!   differ by exactly one;
+//! * `last_ts(key)` — read the last granted value;
+//! * "the Master-key serves each user peer **sequentially**. A new timestamp
+//!   for a document is provided only **after the replication of the previous
+//!   timestamped patch**" — i.e. grant → publish to Log-Peers → ack, one at
+//!   a time per key;
+//! * `sendToPublish` also "replicates the last-ts at the Master-Succ Peer".
+//!
+//! This module is sans-IO: log publication and log probing are delegated to
+//! the embedding layer through [`MasterAction::BeginPublish`] /
+//! [`MasterAction::BeginProbe`], completed via [`KtsMaster::publish_done`] /
+//! [`KtsMaster::probe_done`].
+
+use std::collections::{HashMap, VecDeque};
+
+use bytes::Bytes;
+
+use crate::config::KtsConfig;
+use crate::msg::{HandoffEntry, KtsMsg, ReqId, ValidateFailure};
+use chord::{Id, NodeRef};
+use simnet::NodeId;
+
+/// Effects requested by the master state machine.
+#[derive(Clone, Debug)]
+pub enum MasterAction {
+    /// Send a KTS message.
+    Send(NodeId, KtsMsg),
+    /// Replicate the patch to the Log-Peers (`put(h_i(key_name+ts))` for
+    /// each replication hash), then call
+    /// [`KtsMaster::publish_done`] with the token.
+    BeginPublish {
+        /// Completion token.
+        token: u64,
+        /// The key being served.
+        key: Id,
+        /// Document name (for the replication hashes).
+        key_name: String,
+        /// The granted timestamp.
+        ts: u64,
+        /// The patch to store.
+        patch: Bytes,
+    },
+    /// Recover `last_ts(key)` by probing the log (gallop + binary search),
+    /// then call [`KtsMaster::probe_done`].
+    BeginProbe {
+        /// Completion token.
+        token: u64,
+        /// The key to probe.
+        key: Id,
+        /// Document name.
+        key_name: String,
+    },
+    /// Back up an entry at the Master-key-Succ (the embedding layer knows
+    /// the current successor).
+    ReplicateToSucc {
+        /// The entry to back up.
+        entry: HandoffEntry,
+    },
+    /// Observability upcall.
+    Event(MasterEvent),
+}
+
+/// Notable master-side events (metrics / test oracles).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MasterEvent {
+    /// A timestamp was granted and its patch durably logged.
+    Granted {
+        /// The key.
+        key: Id,
+        /// The document name behind the key.
+        doc: String,
+        /// The timestamp.
+        ts: u64,
+    },
+    /// A first-writer conflict in the log exposed us as a stale master.
+    StaleDetected {
+        /// The key.
+        key: Id,
+    },
+    /// Backup entries were promoted to authoritative after a takeover.
+    Promoted {
+        /// How many keys.
+        count: usize,
+    },
+    /// Authoritative entries were handed off to another master.
+    HandedOff {
+        /// How many keys.
+        count: usize,
+    },
+    /// Authoritative entries were received.
+    HandoffReceived {
+        /// How many keys.
+        count: usize,
+    },
+}
+
+/// How a delegated publish ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PublishOutcome {
+    /// All (or a quorum of) log replicas stored the record.
+    Ok,
+    /// A log peer already holds a *different* record for this (key, ts):
+    /// another master granted it — we are stale.
+    Conflict,
+    /// Log peers unreachable within the timeout budget.
+    Unreachable,
+}
+
+#[derive(Clone, Debug)]
+struct QueuedValidate {
+    op: ReqId,
+    proposed_ts: u64,
+    patch: Bytes,
+    user: NodeRef,
+    /// The log was already re-probed once because this request claimed a
+    /// timestamp ahead of our state.
+    reprobed: bool,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    Ready,
+    Publishing,
+    Probing,
+}
+
+#[derive(Clone, Debug)]
+struct KeyEntry {
+    key_name: String,
+    last_ts: u64,
+    epoch: u64,
+    phase: Phase,
+    /// Verified against the log at least once (or born fresh here).
+    probed: bool,
+    queue: VecDeque<QueuedValidate>,
+}
+
+#[derive(Clone, Debug)]
+struct Backup {
+    key_name: String,
+    last_ts: u64,
+    epoch: u64,
+}
+
+#[derive(Clone, Debug)]
+struct InflightPublish {
+    key: Id,
+    key_name: String,
+    ts: u64,
+    op: ReqId,
+    user: NodeRef,
+}
+
+/// The Master-key role state for one node (it may master many keys).
+pub struct KtsMaster {
+    cfg: KtsConfig,
+    entries: HashMap<Id, KeyEntry>,
+    backups: HashMap<Id, Backup>,
+    inflight: HashMap<u64, InflightPublish>,
+    probing: HashMap<u64, Id>,
+    token_seq: u64,
+    acts: Vec<MasterAction>,
+}
+
+impl KtsMaster {
+    /// Fresh master state.
+    pub fn new(cfg: KtsConfig) -> Self {
+        KtsMaster {
+            cfg,
+            entries: HashMap::new(),
+            backups: HashMap::new(),
+            inflight: HashMap::new(),
+            probing: HashMap::new(),
+            token_seq: 0,
+            acts: Vec::new(),
+        }
+    }
+
+    // ---- inspection ----------------------------------------------------
+
+    /// `last_ts(key)`: the best-known last validated timestamp.
+    pub fn last_ts(&self, key: Id) -> u64 {
+        let e = self.entries.get(&key).map(|e| e.last_ts).unwrap_or(0);
+        let b = self.backups.get(&key).map(|b| b.last_ts).unwrap_or(0);
+        e.max(b)
+    }
+
+    /// Keys this node currently masters (authoritative entries).
+    pub fn mastered_keys(&self) -> Vec<(Id, u64)> {
+        self.entries.iter().map(|(k, e)| (*k, e.last_ts)).collect()
+    }
+
+    /// Number of authoritative entries.
+    pub fn mastered_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of backup entries held for predecessors.
+    pub fn backup_count(&self) -> usize {
+        self.backups.len()
+    }
+
+    /// Currently queued validations across all keys (diagnostics).
+    pub fn queued_validations(&self) -> usize {
+        self.entries.values().map(|e| e.queue.len()).sum()
+    }
+
+    fn token(&mut self) -> u64 {
+        self.token_seq += 1;
+        self.token_seq
+    }
+
+    fn drain(&mut self) -> Vec<MasterAction> {
+        std::mem::take(&mut self.acts)
+    }
+
+    // ---- the validation procedure ---------------------------------------
+
+    /// Handle a [`KtsMsg::Validate`]. `am_responsible` is the embedding
+    /// layer's Chord-ownership check for `key`.
+    #[allow(clippy::too_many_arguments)] // mirrors the wire message fields
+    pub fn on_validate(
+        &mut self,
+        key: Id,
+        key_name: &str,
+        op: ReqId,
+        proposed_ts: u64,
+        patch: Bytes,
+        user: NodeRef,
+        am_responsible: bool,
+    ) -> Vec<MasterAction> {
+        if !am_responsible {
+            self.acts
+                .push(MasterAction::Send(user.addr, KtsMsg::Redirect { op }));
+            return self.drain();
+        }
+        self.ensure_entry(key, key_name);
+        let entry = self.entries.get_mut(&key).expect("just ensured");
+        if entry.queue.len() >= self.cfg.max_queue_per_key {
+            self.acts.push(MasterAction::Send(
+                user.addr,
+                KtsMsg::Failed {
+                    op,
+                    reason: ValidateFailure::Overloaded,
+                },
+            ));
+            return self.drain();
+        }
+        entry.queue.push_back(QueuedValidate {
+            op,
+            proposed_ts,
+            patch,
+            user,
+            reprobed: false,
+        });
+        self.pump(key);
+        self.drain()
+    }
+
+    /// Handle a [`KtsMsg::LastTs`] read.
+    pub fn on_last_ts(&mut self, key: Id, op: ReqId, user: NodeRef) -> Vec<MasterAction> {
+        let last_ts = self.last_ts(key);
+        self.acts.push(MasterAction::Send(
+            user.addr,
+            KtsMsg::LastTsReply { op, key, last_ts },
+        ));
+        self.drain()
+    }
+
+    /// Create (or promote from backup) the entry for `key`.
+    fn ensure_entry(&mut self, key: Id, key_name: &str) {
+        if self.entries.contains_key(&key) {
+            return;
+        }
+        match self.backups.remove(&key) {
+            Some(b) => {
+                // Promotion after our predecessor (the old master) vanished.
+                // The backup may lag an in-flight grant, so verify against
+                // the log before first use (probed = false).
+                self.entries.insert(
+                    key,
+                    KeyEntry {
+                        key_name: b.key_name,
+                        last_ts: b.last_ts,
+                        epoch: b.epoch + 1,
+                        phase: Phase::Ready,
+                        probed: !self.cfg.probe_on_promote,
+                        queue: VecDeque::new(),
+                    },
+                );
+                self.acts
+                    .push(MasterAction::Event(MasterEvent::Promoted { count: 1 }));
+            }
+            None => {
+                self.entries.insert(
+                    key,
+                    KeyEntry {
+                        key_name: key_name.to_owned(),
+                        last_ts: 0,
+                        epoch: 1,
+                        phase: Phase::Ready,
+                        // An unknown key might be genuinely new *or* state
+                        // lost to a double failure; the log is the ground
+                        // truth either way.
+                        probed: !self.cfg.probe_unknown_keys,
+                        queue: VecDeque::new(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Serve the queue head for `key` if the entry is idle.
+    fn pump(&mut self, key: Id) {
+        loop {
+            let entry = match self.entries.get_mut(&key) {
+                Some(e) => e,
+                None => return,
+            };
+            if entry.phase != Phase::Ready {
+                return;
+            }
+            if !entry.probed {
+                entry.phase = Phase::Probing;
+                let token = {
+                    let name = entry.key_name.clone();
+                    let t = self.token();
+                    self.probing.insert(t, key);
+                    self.acts.push(MasterAction::BeginProbe {
+                        token: t,
+                        key,
+                        key_name: name,
+                    });
+                    t
+                };
+                let _ = token;
+                return;
+            }
+            let req = match entry.queue.pop_front() {
+                Some(r) => r,
+                None => return,
+            };
+            if entry.last_ts > req.proposed_ts {
+                // User is behind: it must retrieve and integrate first.
+                let last = entry.last_ts;
+                self.acts.push(MasterAction::Send(
+                    req.user.addr,
+                    KtsMsg::Retry {
+                        op: req.op,
+                        last_ts: last,
+                    },
+                ));
+                continue; // serve the next queued request
+            }
+            if entry.last_ts < req.proposed_ts {
+                if req.reprobed {
+                    // We already re-verified against the log and the user
+                    // still claims more than it contains: the claim cannot
+                    // be honoured (e.g. catastrophic log loss). Fail the
+                    // request rather than probing forever.
+                    self.acts.push(MasterAction::Send(
+                        req.user.addr,
+                        KtsMsg::Failed {
+                            op: req.op,
+                            reason: ValidateFailure::AheadOfLog,
+                        },
+                    ));
+                    continue;
+                }
+                // The *user* knows more than we do — we lost state (e.g.
+                // promoted from a lagging backup). Re-verify from the log,
+                // keeping the request queued.
+                let mut req = req;
+                req.reprobed = true;
+                entry.queue.push_front(req);
+                entry.probed = false;
+                continue; // loop re-enters the probe branch
+            }
+            // last_ts == proposed_ts: grant ts+1, publish, then ack.
+            let ts = entry.last_ts + 1;
+            entry.phase = Phase::Publishing;
+            let key_name = entry.key_name.clone();
+            let token = self.token();
+            self.inflight.insert(
+                token,
+                InflightPublish {
+                    key,
+                    key_name: key_name.clone(),
+                    ts,
+                    op: req.op,
+                    user: req.user,
+                },
+            );
+            self.acts.push(MasterAction::BeginPublish {
+                token,
+                key,
+                key_name,
+                ts,
+                patch: req.patch,
+            });
+            return;
+        }
+    }
+
+    /// The embedding layer finished the log replication for `token`.
+    pub fn publish_done(&mut self, token: u64, outcome: PublishOutcome) -> Vec<MasterAction> {
+        let inflight = match self.inflight.remove(&token) {
+            Some(i) => i,
+            None => return self.drain(),
+        };
+        let key = inflight.key;
+        // The entry can be gone mid-publish: a handoff (join split or
+        // graceful leave) exported it while the log puts were in flight.
+        // The outcome is still authoritative — the log is the ground truth —
+        // so answer the user; the new master's probe-on-first-use (or a
+        // first-writer conflict) reconciles its possibly stale last_ts.
+        if !self.entries.contains_key(&key) {
+            match outcome {
+                PublishOutcome::Ok => {
+                    self.acts.push(MasterAction::Send(
+                        inflight.user.addr,
+                        KtsMsg::Granted {
+                            op: inflight.op,
+                            ts: inflight.ts,
+                        },
+                    ));
+                    // The grant is durable in the log: it must appear in the
+                    // continuity record even though we no longer master the
+                    // key.
+                    self.acts.push(MasterAction::Event(MasterEvent::Granted {
+                        key,
+                        doc: inflight.key_name.clone(),
+                        ts: inflight.ts,
+                    }));
+                }
+                PublishOutcome::Conflict => {
+                    self.acts.push(MasterAction::Send(
+                        inflight.user.addr,
+                        KtsMsg::Redirect { op: inflight.op },
+                    ));
+                }
+                PublishOutcome::Unreachable => {
+                    self.acts.push(MasterAction::Send(
+                        inflight.user.addr,
+                        KtsMsg::Failed {
+                            op: inflight.op,
+                            reason: ValidateFailure::LogUnreachable,
+                        },
+                    ));
+                }
+            }
+            return self.drain();
+        }
+        match outcome {
+            PublishOutcome::Ok => {
+                let (entry_snapshot, granted_ts) = {
+                    let entry = self.entries.get_mut(&key).expect("checked above");
+                    entry.last_ts = inflight.ts;
+                    entry.phase = Phase::Ready;
+                    (
+                        HandoffEntry {
+                            key,
+                            key_name: entry.key_name.clone(),
+                            last_ts: entry.last_ts,
+                            epoch: entry.epoch,
+                        },
+                        inflight.ts,
+                    )
+                };
+                self.acts.push(MasterAction::Send(
+                    inflight.user.addr,
+                    KtsMsg::Granted {
+                        op: inflight.op,
+                        ts: granted_ts,
+                    },
+                ));
+                let doc = entry_snapshot.key_name.clone();
+                self.acts.push(MasterAction::ReplicateToSucc {
+                    entry: entry_snapshot,
+                });
+                self.acts.push(MasterAction::Event(MasterEvent::Granted {
+                    key,
+                    doc,
+                    ts: granted_ts,
+                }));
+            }
+            PublishOutcome::Conflict => {
+                // The log already holds a different record at this (key, ts):
+                // a newer master exists. Stand down and make the user
+                // re-locate the master; verify our state from the log before
+                // serving anything else.
+                if let Some(entry) = self.entries.get_mut(&key) {
+                    entry.phase = Phase::Ready;
+                    entry.probed = false;
+                }
+                self.acts.push(MasterAction::Send(
+                    inflight.user.addr,
+                    KtsMsg::Redirect { op: inflight.op },
+                ));
+                self.acts
+                    .push(MasterAction::Event(MasterEvent::StaleDetected { key }));
+            }
+            PublishOutcome::Unreachable => {
+                if let Some(entry) = self.entries.get_mut(&key) {
+                    entry.phase = Phase::Ready;
+                }
+                self.acts.push(MasterAction::Send(
+                    inflight.user.addr,
+                    KtsMsg::Failed {
+                        op: inflight.op,
+                        reason: ValidateFailure::LogUnreachable,
+                    },
+                ));
+            }
+        }
+        self.pump(key);
+        self.drain()
+    }
+
+    /// The embedding layer finished a log probe: `recovered` is the highest
+    /// timestamp found in the log for the key (0 = none).
+    pub fn probe_done(&mut self, token: u64, recovered: u64) -> Vec<MasterAction> {
+        let key = match self.probing.remove(&token) {
+            Some(k) => k,
+            None => return self.drain(),
+        };
+        if let Some(entry) = self.entries.get_mut(&key) {
+            entry.last_ts = entry.last_ts.max(recovered);
+            entry.probed = true;
+            entry.phase = Phase::Ready;
+        }
+        self.pump(key);
+        self.drain()
+    }
+
+    // ---- backups & takeover ---------------------------------------------
+
+    /// Store a backup entry pushed by the master we succeed.
+    pub fn on_replicate_entry(&mut self, entry: HandoffEntry) {
+        // Never regress: keep the max timestamp seen.
+        let slot = self.backups.entry(entry.key).or_insert(Backup {
+            key_name: entry.key_name.clone(),
+            last_ts: 0,
+            epoch: 0,
+        });
+        if entry.last_ts > slot.last_ts {
+            slot.last_ts = entry.last_ts;
+            slot.epoch = entry.epoch;
+        }
+    }
+
+    /// Authoritative handoff received (graceful leave or join split).
+    pub fn on_table_handoff(&mut self, entries: Vec<HandoffEntry>) -> Vec<MasterAction> {
+        let count = entries.len();
+        for e in entries {
+            let existing_ts = self.entries.get(&e.key).map(|x| x.last_ts).unwrap_or(0);
+            let entry = KeyEntry {
+                key_name: e.key_name,
+                last_ts: e.last_ts.max(existing_ts),
+                epoch: e.epoch + 1,
+                phase: Phase::Ready,
+                // The old master may have exported while one of its grants
+                // was still replicating to the log, so the handed-over
+                // last_ts can lag by one. Verify against the log on first
+                // use (lazily, like promoted backups).
+                probed: !self.cfg.probe_on_promote,
+                queue: self
+                    .entries
+                    .remove(&e.key)
+                    .map(|old| old.queue)
+                    .unwrap_or_default(),
+            };
+            self.entries.insert(e.key, entry);
+            self.backups.remove(&e.key);
+            self.pump(e.key);
+        }
+        self.acts
+            .push(MasterAction::Event(MasterEvent::HandoffReceived { count }));
+        self.drain()
+    }
+
+    /// Extract the authoritative entries in the ring arc `(from, to]` —
+    /// called when a newly joined master takes over that range. The entries
+    /// are kept locally as backups (we are the new master's successor).
+    pub fn export_range(&mut self, from: Id, to: Id) -> (Vec<HandoffEntry>, Vec<MasterAction>) {
+        let keys: Vec<Id> = self
+            .entries
+            .keys()
+            .copied()
+            .filter(|k| k.in_half_open(from, to))
+            .collect();
+        let mut out = Vec::with_capacity(keys.len());
+        for k in keys {
+            let e = self.entries.remove(&k).expect("listed");
+            self.backups.insert(
+                k,
+                Backup {
+                    key_name: e.key_name.clone(),
+                    last_ts: e.last_ts,
+                    epoch: e.epoch,
+                },
+            );
+            out.push(HandoffEntry {
+                key: k,
+                key_name: e.key_name,
+                last_ts: e.last_ts,
+                epoch: e.epoch,
+            });
+            // Queued requests for exported keys are redirected.
+            for q in e.queue {
+                self.acts
+                    .push(MasterAction::Send(q.user.addr, KtsMsg::Redirect { op: q.op }));
+            }
+        }
+        if !out.is_empty() {
+            self.acts.push(MasterAction::Event(MasterEvent::HandedOff {
+                count: out.len(),
+            }));
+        }
+        (out, self.drain())
+    }
+
+    /// Extract **all** authoritative entries (graceful leave).
+    pub fn export_all(&mut self) -> (Vec<HandoffEntry>, Vec<MasterAction>) {
+        let keys: Vec<Id> = self.entries.keys().copied().collect();
+        let mut out = Vec::with_capacity(keys.len());
+        for k in keys {
+            let e = self.entries.remove(&k).expect("listed");
+            out.push(HandoffEntry {
+                key: k,
+                key_name: e.key_name,
+                last_ts: e.last_ts,
+                epoch: e.epoch,
+            });
+            for q in e.queue {
+                self.acts
+                    .push(MasterAction::Send(q.user.addr, KtsMsg::Redirect { op: q.op }));
+            }
+        }
+        if !out.is_empty() {
+            self.acts.push(MasterAction::Event(MasterEvent::HandedOff {
+                count: out.len(),
+            }));
+        }
+        (out, self.drain())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::NodeId;
+
+    fn user(n: u32) -> NodeRef {
+        NodeRef::new(NodeId(n), Id(n as u64 * 1000))
+    }
+
+    fn key() -> Id {
+        Id(42)
+    }
+
+    fn patch() -> Bytes {
+        Bytes::from_static(b"patch")
+    }
+
+    fn cfg_no_probe() -> KtsConfig {
+        KtsConfig {
+            probe_unknown_keys: false,
+            probe_on_promote: false,
+            ..KtsConfig::default()
+        }
+    }
+
+    /// Extract the single BeginPublish token from actions.
+    fn publish_token(acts: &[MasterAction]) -> u64 {
+        acts.iter()
+            .find_map(|a| match a {
+                MasterAction::BeginPublish { token, .. } => Some(*token),
+                _ => None,
+            })
+            .expect("no BeginPublish")
+    }
+
+    #[test]
+    fn first_validate_grants_ts_1() {
+        let mut m = KtsMaster::new(cfg_no_probe());
+        let acts = m.on_validate(key(), "doc", ReqId(1), 0, patch(), user(1), true);
+        let token = publish_token(&acts);
+        let acts = m.publish_done(token, PublishOutcome::Ok);
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            MasterAction::Send(_, KtsMsg::Granted { ts: 1, .. })
+        )));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, MasterAction::ReplicateToSucc { .. })));
+        assert_eq!(m.last_ts(key()), 1);
+    }
+
+    #[test]
+    fn continuous_timestamps_across_grants() {
+        let mut m = KtsMaster::new(cfg_no_probe());
+        for expect in 1..=5u64 {
+            let acts = m.on_validate(key(), "doc", ReqId(expect), expect - 1, patch(), user(1), true);
+            let token = publish_token(&acts);
+            let acts = m.publish_done(token, PublishOutcome::Ok);
+            let granted = acts
+                .iter()
+                .find_map(|a| match a {
+                    MasterAction::Send(_, KtsMsg::Granted { ts, .. }) => Some(*ts),
+                    _ => None,
+                })
+                .unwrap();
+            assert_eq!(granted, expect);
+        }
+    }
+
+    #[test]
+    fn behind_user_gets_retry() {
+        let mut m = KtsMaster::new(cfg_no_probe());
+        let t = publish_token(&m.on_validate(key(), "doc", ReqId(1), 0, patch(), user(1), true));
+        m.publish_done(t, PublishOutcome::Ok);
+        // Second user still at ts 0.
+        let acts = m.on_validate(key(), "doc", ReqId(2), 0, patch(), user(2), true);
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            MasterAction::Send(_, KtsMsg::Retry { last_ts: 1, .. })
+        )));
+    }
+
+    #[test]
+    fn concurrent_validates_serialized_per_key() {
+        let mut m = KtsMaster::new(cfg_no_probe());
+        // Two users race at proposed_ts=0; the first grant starts publishing,
+        // the second stays queued.
+        let acts1 = m.on_validate(key(), "doc", ReqId(1), 0, patch(), user(1), true);
+        let t1 = publish_token(&acts1);
+        let acts2 = m.on_validate(key(), "doc", ReqId(2), 0, patch(), user(2), true);
+        assert!(
+            !acts2.iter().any(|a| matches!(a, MasterAction::BeginPublish { .. })),
+            "second publish must wait for the first"
+        );
+        // First completes; the queued request is now behind (last_ts=1) and
+        // receives a Retry.
+        let acts = m.publish_done(t1, PublishOutcome::Ok);
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            MasterAction::Send(to, KtsMsg::Retry { last_ts: 1, .. }) if *to == NodeId(2)
+        )));
+    }
+
+    #[test]
+    fn not_responsible_redirects() {
+        let mut m = KtsMaster::new(cfg_no_probe());
+        let acts = m.on_validate(key(), "doc", ReqId(1), 0, patch(), user(1), false);
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, MasterAction::Send(_, KtsMsg::Redirect { .. }))));
+        assert_eq!(m.mastered_count(), 0);
+    }
+
+    #[test]
+    fn conflict_marks_stale_and_redirects() {
+        let mut m = KtsMaster::new(cfg_no_probe());
+        let t = publish_token(&m.on_validate(key(), "doc", ReqId(1), 0, patch(), user(1), true));
+        let acts = m.publish_done(t, PublishOutcome::Conflict);
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, MasterAction::Send(_, KtsMsg::Redirect { .. }))));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, MasterAction::Event(MasterEvent::StaleDetected { .. }))));
+        assert_eq!(m.last_ts(key()), 0, "no grant on conflict");
+    }
+
+    #[test]
+    fn unreachable_log_fails_request_but_keeps_state() {
+        let mut m = KtsMaster::new(cfg_no_probe());
+        let t = publish_token(&m.on_validate(key(), "doc", ReqId(1), 0, patch(), user(1), true));
+        let acts = m.publish_done(t, PublishOutcome::Unreachable);
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            MasterAction::Send(
+                _,
+                KtsMsg::Failed {
+                    reason: ValidateFailure::LogUnreachable,
+                    ..
+                }
+            )
+        )));
+        assert_eq!(m.last_ts(key()), 0);
+        // A retry can now succeed.
+        let t = publish_token(&m.on_validate(key(), "doc", ReqId(2), 0, patch(), user(1), true));
+        let acts = m.publish_done(t, PublishOutcome::Ok);
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, MasterAction::Send(_, KtsMsg::Granted { ts: 1, .. }))));
+    }
+
+    #[test]
+    fn probe_unknown_key_before_first_grant() {
+        let cfg = KtsConfig::default(); // probing on
+        let mut m = KtsMaster::new(cfg);
+        let acts = m.on_validate(key(), "doc", ReqId(1), 0, patch(), user(1), true);
+        let probe_token = acts
+            .iter()
+            .find_map(|a| match a {
+                MasterAction::BeginProbe { token, .. } => Some(*token),
+                _ => None,
+            })
+            .expect("must probe unknown key");
+        assert!(!acts.iter().any(|a| matches!(a, MasterAction::BeginPublish { .. })));
+        // Probe finds 3 patches already in the log (state was lost).
+        let acts = m.probe_done(probe_token, 3);
+        // The queued user (at ts 0) is behind -> Retry with last_ts 3.
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            MasterAction::Send(_, KtsMsg::Retry { last_ts: 3, .. })
+        )));
+        assert_eq!(m.last_ts(key()), 3);
+    }
+
+    #[test]
+    fn user_ahead_triggers_reprobe() {
+        let mut m = KtsMaster::new(cfg_no_probe());
+        // Master thinks 0, user proposes 2 (it integrated 2 patches from the
+        // log that we never saw — we are a recovered master with lost state).
+        let acts = m.on_validate(key(), "doc", ReqId(1), 2, patch(), user(1), true);
+        let probe_token = acts
+            .iter()
+            .find_map(|a| match a {
+                MasterAction::BeginProbe { token, .. } => Some(*token),
+                _ => None,
+            })
+            .expect("user-ahead must trigger probe");
+        let acts = m.probe_done(probe_token, 2);
+        // Now last_ts == proposed: grant 3.
+        let t = publish_token(&acts);
+        let acts = m.publish_done(t, PublishOutcome::Ok);
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, MasterAction::Send(_, KtsMsg::Granted { ts: 3, .. }))));
+    }
+
+    #[test]
+    fn backup_promotion_on_first_touch() {
+        let mut m = KtsMaster::new(cfg_no_probe());
+        m.on_replicate_entry(HandoffEntry {
+            key: key(),
+            key_name: "doc".into(),
+            last_ts: 7,
+            epoch: 1,
+        });
+        assert_eq!(m.backup_count(), 1);
+        assert_eq!(m.last_ts(key()), 7);
+        // First validate after our predecessor died: promote, then serve.
+        let acts = m.on_validate(key(), "doc", ReqId(1), 7, patch(), user(1), true);
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, MasterAction::Event(MasterEvent::Promoted { .. }))));
+        let t = publish_token(&acts);
+        let acts = m.publish_done(t, PublishOutcome::Ok);
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, MasterAction::Send(_, KtsMsg::Granted { ts: 8, .. }))));
+        assert_eq!(m.backup_count(), 0);
+    }
+
+    #[test]
+    fn backup_never_regresses() {
+        let mut m = KtsMaster::new(cfg_no_probe());
+        m.on_replicate_entry(HandoffEntry {
+            key: key(),
+            key_name: "doc".into(),
+            last_ts: 7,
+            epoch: 1,
+        });
+        m.on_replicate_entry(HandoffEntry {
+            key: key(),
+            key_name: "doc".into(),
+            last_ts: 5,
+            epoch: 1,
+        });
+        assert_eq!(m.last_ts(key()), 7);
+    }
+
+    #[test]
+    fn handoff_roundtrip_preserves_state() {
+        let mut a = KtsMaster::new(cfg_no_probe());
+        let t = publish_token(&a.on_validate(key(), "doc", ReqId(1), 0, patch(), user(1), true));
+        a.publish_done(t, PublishOutcome::Ok);
+        let (entries, _acts) = a.export_all();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(a.mastered_count(), 0);
+
+        let mut b = KtsMaster::new(cfg_no_probe());
+        b.on_table_handoff(entries);
+        assert_eq!(b.last_ts(key()), 1);
+        // Continuity across the handoff: next grant is 2.
+        let t = publish_token(&b.on_validate(key(), "doc", ReqId(2), 1, patch(), user(2), true));
+        let acts = b.publish_done(t, PublishOutcome::Ok);
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, MasterAction::Send(_, KtsMsg::Granted { ts: 2, .. }))));
+    }
+
+    #[test]
+    fn export_range_keeps_backup_copies() {
+        let mut m = KtsMaster::new(cfg_no_probe());
+        let k1 = Id(10);
+        let k2 = Id(1000);
+        for (k, op) in [(k1, 1u64), (k2, 2)] {
+            let t = publish_token(&m.on_validate(k, "d", ReqId(op), 0, patch(), user(1), true));
+            m.publish_done(t, PublishOutcome::Ok);
+        }
+        let (exported, _) = m.export_range(Id(0), Id(100));
+        assert_eq!(exported.len(), 1);
+        assert_eq!(exported[0].key, k1);
+        assert_eq!(m.mastered_count(), 1);
+        assert_eq!(m.backup_count(), 1);
+        assert_eq!(m.last_ts(k1), 1, "backup copy retained");
+    }
+
+    #[test]
+    fn queue_overflow_sheds_load() {
+        let cfg = KtsConfig {
+            probe_unknown_keys: false,
+            probe_on_promote: false,
+            max_queue_per_key: 2,
+            ..KtsConfig::default()
+        };
+        let mut m = KtsMaster::new(cfg);
+        // First takes the publish slot; 2 queue; the 4th overflows.
+        let _ = m.on_validate(key(), "doc", ReqId(1), 0, patch(), user(1), true);
+        let _ = m.on_validate(key(), "doc", ReqId(2), 0, patch(), user(2), true);
+        let _ = m.on_validate(key(), "doc", ReqId(3), 0, patch(), user(3), true);
+        let acts = m.on_validate(key(), "doc", ReqId(4), 0, patch(), user(4), true);
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            MasterAction::Send(
+                _,
+                KtsMsg::Failed {
+                    reason: ValidateFailure::Overloaded,
+                    ..
+                }
+            )
+        )));
+    }
+}

@@ -1,0 +1,153 @@
+//! Line diff: turn "the user saved the document" into a patch (sequence of
+//! [`TextOp`]s), as So6's text synchronizer does after each save.
+//!
+//! Strategy: trim the common prefix/suffix, then run an LCS dynamic program
+//! on the (usually tiny) middle section. Edits in collaborative editing are
+//! localized, so the trimmed window stays small even for large documents.
+
+use crate::document::Document;
+use crate::op::TextOp;
+
+/// Compute a patch transforming `old` into `new`, attributed to `site`.
+/// The returned ops apply sequentially (each position is relative to the
+/// document state after the previous ops).
+pub fn diff(old: &Document, new: &Document, site: u64) -> Vec<TextOp> {
+    let a = old.lines();
+    let b = new.lines();
+
+    // Trim common prefix.
+    let mut prefix = 0;
+    while prefix < a.len() && prefix < b.len() && a[prefix] == b[prefix] {
+        prefix += 1;
+    }
+    // Trim common suffix (not overlapping the prefix).
+    let mut suffix = 0;
+    while suffix < a.len() - prefix && suffix < b.len() - prefix
+        && a[a.len() - 1 - suffix] == b[b.len() - 1 - suffix]
+    {
+        suffix += 1;
+    }
+
+    let mid_a = &a[prefix..a.len() - suffix];
+    let mid_b = &b[prefix..b.len() - suffix];
+
+    // LCS table over the middle.
+    let (n, m) = (mid_a.len(), mid_b.len());
+    let mut lcs = vec![vec![0u32; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            lcs[i][j] = if mid_a[i] == mid_b[j] {
+                lcs[i + 1][j + 1] + 1
+            } else {
+                lcs[i + 1][j].max(lcs[i][j + 1])
+            };
+        }
+    }
+
+    // Emit ops walking the alignment; `pos` tracks the position in the
+    // evolving document.
+    let mut ops = Vec::new();
+    let mut pos = prefix;
+    let (mut i, mut j) = (0, 0);
+    while i < n && j < m {
+        if mid_a[i] == mid_b[j] {
+            pos += 1;
+            i += 1;
+            j += 1;
+        } else if lcs[i + 1][j] >= lcs[i][j + 1] {
+            ops.push(TextOp::del(pos, mid_a[i].clone(), site));
+            i += 1;
+        } else {
+            ops.push(TextOp::ins(pos, mid_b[j].clone(), site));
+            pos += 1;
+            j += 1;
+        }
+    }
+    while i < n {
+        ops.push(TextOp::del(pos, mid_a[i].clone(), site));
+        i += 1;
+    }
+    while j < m {
+        ops.push(TextOp::ins(pos, mid_b[j].clone(), site));
+        pos += 1;
+        j += 1;
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn apply_diff(old: &str, new: &str) -> String {
+        let o = Document::from_text(old);
+        let n = Document::from_text(new);
+        let ops = diff(&o, &n, 1);
+        let mut d = o.clone();
+        d.apply_all(&ops).expect("diff must apply cleanly");
+        d.to_text()
+    }
+
+    #[test]
+    fn identical_documents_empty_diff() {
+        let d = Document::from_text("a\nb");
+        assert!(diff(&d, &d, 1).is_empty());
+    }
+
+    #[test]
+    fn pure_insert() {
+        assert_eq!(apply_diff("a\nc", "a\nb\nc"), "a\nb\nc");
+    }
+
+    #[test]
+    fn pure_delete() {
+        assert_eq!(apply_diff("a\nb\nc", "a\nc"), "a\nc");
+    }
+
+    #[test]
+    fn replace_line() {
+        let o = Document::from_text("a\nOLD\nc");
+        let n = Document::from_text("a\nNEW\nc");
+        let ops = diff(&o, &n, 1);
+        assert_eq!(ops.len(), 2, "replace = del + ins, got {ops:?}");
+        assert_eq!(apply_diff("a\nOLD\nc", "a\nNEW\nc"), "a\nNEW\nc");
+    }
+
+    #[test]
+    fn from_empty_and_to_empty() {
+        assert_eq!(apply_diff("", "x\ny"), "x\ny");
+        assert_eq!(apply_diff("x\ny", ""), "");
+    }
+
+    #[test]
+    fn repeated_lines() {
+        assert_eq!(apply_diff("a\na\na", "a\na"), "a\na");
+        assert_eq!(apply_diff("a\nb\na", "a\na\nb\na"), "a\na\nb\na");
+    }
+
+    #[test]
+    fn diff_is_minimal_for_single_edit() {
+        let o = Document::from_text("1\n2\n3\n4\n5\n6\n7\n8");
+        let n = Document::from_text("1\n2\n3\nX\n4\n5\n6\n7\n8");
+        assert_eq!(diff(&o, &n, 1).len(), 1);
+    }
+
+    proptest! {
+        /// diff(a, b) applied to a always yields exactly b.
+        #[test]
+        fn diff_apply_roundtrip(
+            a in prop::collection::vec(prop::sample::select(vec!["x", "y", "z", "w"]), 0..12),
+            b in prop::collection::vec(prop::sample::select(vec!["x", "y", "z", "w"]), 0..12),
+        ) {
+            let old = Document::from_lines(a.iter().map(|s| s.to_string()).collect());
+            let new = Document::from_lines(b.iter().map(|s| s.to_string()).collect());
+            let ops = diff(&old, &new, 42);
+            let mut d = old.clone();
+            d.apply_all(&ops).unwrap();
+            prop_assert_eq!(d.lines(), new.lines());
+            // Every op is attributed to the requested site.
+            prop_assert!(ops.iter().all(|o| o.site() == 42));
+        }
+    }
+}

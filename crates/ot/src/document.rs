@@ -1,0 +1,183 @@
+//! The replicated artifact: a line-based text document (an XWiki page in the
+//! paper's motivating application).
+
+use crate::op::{OtError, TextOp};
+
+/// A text document as a sequence of lines.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Document {
+    lines: Vec<String>,
+}
+
+impl Document {
+    /// Empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from owned lines.
+    pub fn from_lines(lines: Vec<String>) -> Self {
+        Document { lines }
+    }
+
+    /// Build from text, splitting on `\n`. An empty string is the empty
+    /// document (zero lines).
+    pub fn from_text(text: &str) -> Self {
+        if text.is_empty() {
+            Self::new()
+        } else {
+            Document {
+                lines: text.split('\n').map(str::to_owned).collect(),
+            }
+        }
+    }
+
+    /// Join lines with `\n`.
+    pub fn to_text(&self) -> String {
+        self.lines.join("\n")
+    }
+
+    /// Borrow the lines.
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// Line at `pos`, if in bounds.
+    pub fn line(&self, pos: usize) -> Option<&str> {
+        self.lines.get(pos).map(String::as_str)
+    }
+
+    /// Number of lines.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// True when the document has no lines.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Apply a single operation, validating bounds and (for deletes) that
+    /// the content matches — a mismatch means replicas diverged.
+    pub fn apply(&mut self, op: &TextOp) -> Result<(), OtError> {
+        match op {
+            TextOp::Ins { pos, content, .. } => {
+                if *pos > self.lines.len() {
+                    return Err(OtError::InsertOutOfBounds {
+                        pos: *pos,
+                        len: self.lines.len(),
+                    });
+                }
+                self.lines.insert(*pos, content.clone());
+                Ok(())
+            }
+            TextOp::Del { pos, content, .. } => {
+                if *pos >= self.lines.len() {
+                    return Err(OtError::DeleteOutOfBounds {
+                        pos: *pos,
+                        len: self.lines.len(),
+                    });
+                }
+                if self.lines[*pos] != *content {
+                    return Err(OtError::ContentMismatch {
+                        pos: *pos,
+                        expected: content.clone(),
+                        found: self.lines[*pos].clone(),
+                    });
+                }
+                self.lines.remove(*pos);
+                Ok(())
+            }
+        }
+    }
+
+    /// Apply a sequence of operations (a patch body), stopping at the first
+    /// error.
+    pub fn apply_all(&mut self, ops: &[TextOp]) -> Result<(), OtError> {
+        for op in ops {
+            self.apply(op)?;
+        }
+        Ok(())
+    }
+
+    /// 64-bit FNV-1a content hash, used by the consistency checker to
+    /// compare replicas cheaply.
+    pub fn content_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for line in &self.lines {
+            for &b in line.as_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            h ^= 0x0a; // line separator
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_roundtrip() {
+        let d = Document::from_text("a\nb\nc");
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.to_text(), "a\nb\nc");
+        assert_eq!(Document::from_text("").len(), 0);
+    }
+
+    #[test]
+    fn apply_insert_and_delete() {
+        let mut d = Document::from_text("a\nc");
+        d.apply(&TextOp::ins(1, "b", 1)).unwrap();
+        assert_eq!(d.to_text(), "a\nb\nc");
+        d.apply(&TextOp::del(0, "a", 1)).unwrap();
+        assert_eq!(d.to_text(), "b\nc");
+    }
+
+    #[test]
+    fn insert_at_end_is_append() {
+        let mut d = Document::from_text("a");
+        d.apply(&TextOp::ins(1, "b", 1)).unwrap();
+        assert_eq!(d.to_text(), "a\nb");
+    }
+
+    #[test]
+    fn bounds_errors() {
+        let mut d = Document::from_text("a");
+        assert!(matches!(
+            d.apply(&TextOp::ins(5, "x", 1)),
+            Err(OtError::InsertOutOfBounds { pos: 5, len: 1 })
+        ));
+        assert!(matches!(
+            d.apply(&TextOp::del(1, "x", 1)),
+            Err(OtError::DeleteOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn delete_verifies_content() {
+        let mut d = Document::from_text("actual");
+        let err = d.apply(&TextOp::del(0, "expected", 1)).unwrap_err();
+        assert!(matches!(err, OtError::ContentMismatch { .. }));
+        assert_eq!(d.len(), 1, "failed delete must not mutate");
+    }
+
+    #[test]
+    fn content_hash_distinguishes_line_boundaries() {
+        let a = Document::from_text("ab\nc");
+        let b = Document::from_text("a\nbc");
+        assert_ne!(a.content_hash(), b.content_hash());
+        assert_eq!(a.content_hash(), Document::from_text("ab\nc").content_hash());
+    }
+
+    #[test]
+    fn apply_all_stops_on_error() {
+        let mut d = Document::from_text("a");
+        let ops = vec![TextOp::del(0, "a", 1), TextOp::del(0, "zzz", 1)];
+        assert!(d.apply_all(&ops).is_err());
+        assert_eq!(d.len(), 0, "first op applied, second failed");
+    }
+}

@@ -1,0 +1,260 @@
+//! The SOCT4-style merge engine a user peer runs: integrate remote validated
+//! patches (in continuous timestamp order) while carrying a pending local
+//! patch forward.
+//!
+//! This is the reconciliation contract So6 exposes and P2P-LTR plugs into
+//! (RR-6497 §3: "previous validated patches … must be integrated in u1's
+//! document before, e.g. by using So6 which is based on operational
+//! transformation").
+
+use crate::document::Document;
+use crate::op::OtError;
+use crate::patch::Patch;
+
+/// A replica of one document at one site: the last *validated* global state
+/// plus an optional pending (tentative) local patch, already reflected in
+/// [`Replica::working`].
+#[derive(Clone, Debug)]
+pub struct Replica {
+    /// Site id of this replica's user.
+    pub site: u64,
+    /// Timestamp of the last integrated validated patch (0 = initial).
+    pub ts: u64,
+    /// The validated global state at `ts`.
+    base: Document,
+    /// `base` plus the pending patch (what the user sees and edits).
+    working: Document,
+    /// The tentative patch awaiting validation, expressed against `base`.
+    pending: Option<Patch>,
+}
+
+impl Replica {
+    /// Fresh replica of an initial document (timestamp 0).
+    pub fn new(site: u64, initial: Document) -> Self {
+        Replica {
+            site,
+            ts: 0,
+            working: initial.clone(),
+            base: initial,
+            pending: None,
+        }
+    }
+
+    /// The document as the user currently sees it.
+    pub fn working(&self) -> &Document {
+        &self.working
+    }
+
+    /// The last validated global state.
+    pub fn base(&self) -> &Document {
+        &self.base
+    }
+
+    /// The pending tentative patch, if any.
+    pub fn pending(&self) -> Option<&Patch> {
+        self.pending.as_ref()
+    }
+
+    /// The user saved: record the edit as (part of) the pending patch.
+    /// Multiple saves before validation accumulate into one tentative patch
+    /// (patch composition), exactly like repeated So6 "save" operations.
+    pub fn edit(&mut self, new_text: &Document) -> Result<&Patch, OtError> {
+        let delta = crate::diff::diff(&self.working, new_text, self.site);
+        self.working = new_text.clone();
+        match &mut self.pending {
+            Some(p) => p.ops.extend(delta),
+            None => self.pending = Some(Patch::new(self.site, delta)),
+        }
+        Ok(self.pending.as_ref().expect("just set"))
+    }
+
+    /// Integrate a remote validated patch with timestamp `ts`. Must be the
+    /// next timestamp (`self.ts + 1`) — the retrieval procedure guarantees
+    /// continuous order. The pending local patch (if any) is rebased.
+    pub fn integrate_remote(&mut self, ts: u64, remote: &Patch) -> Result<(), OtError> {
+        assert_eq!(
+            ts,
+            self.ts + 1,
+            "retrieval must deliver continuous timestamps (have {}, got {ts})",
+            self.ts
+        );
+        // Advance the validated base.
+        self.base.apply_all(&remote.ops)?;
+        match self.pending.take() {
+            None => {
+                self.working.apply_all(&remote.ops)?;
+            }
+            Some(local) => {
+                let (remote_t, local_t) = local.rebase_over(remote);
+                // The working copy already contains `local`; apply the
+                // transformed remote to it.
+                self.working.apply_all(&remote_t.ops)?;
+                self.pending = if local_t.is_empty() {
+                    None
+                } else {
+                    Some(local_t)
+                };
+            }
+        }
+        self.ts = ts;
+        Ok(())
+    }
+
+    /// Our own pending patch was validated with timestamp `ts`: it becomes
+    /// part of the global state.
+    pub fn acknowledge_own(&mut self, ts: u64) -> Result<(), OtError> {
+        let len = self.pending.as_ref().map(|p| p.len()).unwrap_or(0);
+        self.acknowledge_own_prefix(ts, len)
+    }
+
+    /// The first `prefix_len` operations of the pending patch were validated
+    /// with timestamp `ts`; any remaining operations (edits saved while the
+    /// validation was in flight) stay pending for the next cycle. The
+    /// remainder is already expressed against `base ∘ prefix`, because
+    /// pending ops are sequential.
+    pub fn acknowledge_own_prefix(&mut self, ts: u64, prefix_len: usize) -> Result<(), OtError> {
+        assert_eq!(ts, self.ts + 1, "own patch must be the next timestamp");
+        if let Some(p) = self.pending.take() {
+            let prefix_len = prefix_len.min(p.ops.len());
+            self.base.apply_all(&p.ops[..prefix_len])?;
+            if prefix_len < p.ops.len() {
+                self.pending = Some(Patch::new(p.author, p.ops[prefix_len..].to_vec()));
+            }
+        }
+        if self.pending.is_none() {
+            debug_assert_eq!(self.base.lines(), self.working.lines());
+        }
+        self.ts = ts;
+        Ok(())
+    }
+
+    /// Take the pending patch for publication (it stays pending until
+    /// [`Replica::acknowledge_own`]).
+    pub fn tentative_for_publish(&self) -> Option<Patch> {
+        self.pending.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::TextOp;
+
+    fn doc(t: &str) -> Document {
+        Document::from_text(t)
+    }
+
+    #[test]
+    fn lone_editor_publishes_and_acks() {
+        let mut r = Replica::new(1, doc("hello"));
+        r.edit(&doc("hello\nworld")).unwrap();
+        assert_eq!(r.pending().unwrap().len(), 1);
+        r.acknowledge_own(1).unwrap();
+        assert_eq!(r.ts, 1);
+        assert!(r.pending().is_none());
+        assert_eq!(r.base().to_text(), "hello\nworld");
+    }
+
+    #[test]
+    fn remote_integration_without_pending() {
+        let mut r = Replica::new(2, doc("a"));
+        let remote = Patch::new(1, vec![TextOp::ins(1, "b", 1)]);
+        r.integrate_remote(1, &remote).unwrap();
+        assert_eq!(r.working().to_text(), "a\nb");
+        assert_eq!(r.base().to_text(), "a\nb");
+        assert_eq!(r.ts, 1);
+    }
+
+    #[test]
+    fn remote_integration_rebases_pending() {
+        // Site 2 edits locally while site 1's patch wins timestamp 1.
+        let mut r = Replica::new(2, doc("x\ny"));
+        r.edit(&doc("x\ny\nlocal")).unwrap();
+        let remote = Patch::new(1, vec![TextOp::ins(0, "remote", 1)]);
+        r.integrate_remote(1, &remote).unwrap();
+        // Working copy shows both edits.
+        assert_eq!(r.working().to_text(), "remote\nx\ny\nlocal");
+        // Base shows only the validated patch.
+        assert_eq!(r.base().to_text(), "remote\nx\ny");
+        // Pending is rebased: inserting "local" at the (shifted) end.
+        let pending = r.pending().unwrap().clone();
+        let mut check = r.base().clone();
+        check.apply_all(&pending.ops).unwrap();
+        assert_eq!(check.to_text(), r.working().to_text());
+    }
+
+    #[test]
+    fn two_replicas_converge_via_total_order() {
+        // The core P2P-LTR convergence scenario, run purely in-memory:
+        // both sites edit concurrently; site 1 wins ts=1, site 2 must
+        // integrate then publish as ts=2.
+        let initial = doc("base");
+        let mut r1 = Replica::new(1, initial.clone());
+        let mut r2 = Replica::new(2, initial.clone());
+
+        r1.edit(&doc("base\none")).unwrap();
+        r2.edit(&doc("two\nbase")).unwrap();
+
+        // Site 1 validated first.
+        let p1 = r1.tentative_for_publish().unwrap();
+        r1.acknowledge_own(1).unwrap();
+        r2.integrate_remote(1, &p1).unwrap();
+
+        // Site 2 now publishes its (rebased) pending patch.
+        let p2 = r2.tentative_for_publish().unwrap();
+        r2.acknowledge_own(2).unwrap();
+        r1.integrate_remote(2, &p2).unwrap();
+
+        assert_eq!(r1.working().lines(), r2.working().lines());
+        assert_eq!(r1.ts, 2);
+        assert_eq!(r2.ts, 2);
+        assert_eq!(r1.working().to_text(), "two\nbase\none");
+    }
+
+    #[test]
+    #[should_panic(expected = "continuous timestamps")]
+    fn gap_in_timestamps_panics() {
+        let mut r = Replica::new(1, doc("a"));
+        let remote = Patch::new(2, vec![TextOp::ins(0, "x", 2)]);
+        r.integrate_remote(5, &remote).unwrap();
+    }
+
+    #[test]
+    fn multiple_saves_accumulate() {
+        let mut r = Replica::new(1, doc(""));
+        r.edit(&doc("a")).unwrap();
+        r.edit(&doc("a\nb")).unwrap();
+        assert_eq!(r.pending().unwrap().len(), 2);
+        r.acknowledge_own(1).unwrap();
+        assert_eq!(r.base().to_text(), "a\nb");
+    }
+
+    #[test]
+    fn prefix_acknowledge_keeps_remainder_pending() {
+        let mut r = Replica::new(1, doc("base"));
+        r.edit(&doc("base\none")).unwrap(); // 1 op — gets published
+        let published_ops = r.pending().unwrap().len();
+        r.edit(&doc("base\none\ntwo")).unwrap(); // 1 more op mid-flight
+        assert_eq!(r.pending().unwrap().len(), 2);
+
+        r.acknowledge_own_prefix(1, published_ops).unwrap();
+        assert_eq!(r.ts, 1);
+        assert_eq!(r.base().to_text(), "base\none", "only the prefix is global");
+        let rest = r.pending().expect("remainder stays pending");
+        assert_eq!(rest.len(), 1);
+        // The remainder still applies cleanly onto the new base.
+        let mut check = r.base().clone();
+        check.apply_all(&rest.ops).unwrap();
+        assert_eq!(check.to_text(), r.working().to_text());
+    }
+
+    #[test]
+    fn prefix_acknowledge_full_length_equals_acknowledge_own() {
+        let mut a = Replica::new(1, doc("x"));
+        a.edit(&doc("x\ny")).unwrap();
+        let n = a.pending().unwrap().len();
+        a.acknowledge_own_prefix(1, n).unwrap();
+        assert!(a.pending().is_none());
+        assert_eq!(a.base().to_text(), "x\ny");
+    }
+}

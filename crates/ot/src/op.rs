@@ -1,0 +1,184 @@
+//! Line-level text operations, the unit the So6 reconciliation engine works
+//! with (Molli et al., GROUP'03: a synchronizer over line-based `AddTxt` /
+//! `DelTxt` operations).
+
+use std::fmt;
+
+/// One line-granularity edit.
+///
+/// `Del` carries the expected line content: applying it verifies the content
+/// matches, turning any transformation bug into a loud error instead of
+/// silent divergence (So6 does the same for safety).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum TextOp {
+    /// Insert `content` so that it becomes line number `pos` (0-based).
+    Ins {
+        /// Target line index after insertion.
+        pos: usize,
+        /// The inserted line.
+        content: String,
+        /// Site (author) id — tie-breaker for concurrent same-position
+        /// inserts; gives the transformation its TP1 property.
+        site: u64,
+    },
+    /// Delete line `pos`, which must currently read `content`.
+    Del {
+        /// Line index to remove.
+        pos: usize,
+        /// Expected current content of that line.
+        content: String,
+        /// Site (author) id.
+        site: u64,
+    },
+}
+
+impl TextOp {
+    /// The line index this op targets.
+    pub fn pos(&self) -> usize {
+        match self {
+            TextOp::Ins { pos, .. } | TextOp::Del { pos, .. } => *pos,
+        }
+    }
+
+    /// The line content carried by the op.
+    pub fn content(&self) -> &str {
+        match self {
+            TextOp::Ins { content, .. } | TextOp::Del { content, .. } => content,
+        }
+    }
+
+    /// The originating site id.
+    pub fn site(&self) -> u64 {
+        match self {
+            TextOp::Ins { site, .. } | TextOp::Del { site, .. } => *site,
+        }
+    }
+
+    /// Convenience constructor.
+    pub fn ins(pos: usize, content: impl Into<String>, site: u64) -> Self {
+        TextOp::Ins {
+            pos,
+            content: content.into(),
+            site,
+        }
+    }
+
+    /// Convenience constructor.
+    pub fn del(pos: usize, content: impl Into<String>, site: u64) -> Self {
+        TextOp::Del {
+            pos,
+            content: content.into(),
+            site,
+        }
+    }
+
+    /// The inverse operation (for undo / invertibility tests).
+    pub fn invert(&self) -> TextOp {
+        match self {
+            TextOp::Ins { pos, content, site } => TextOp::Del {
+                pos: *pos,
+                content: content.clone(),
+                site: *site,
+            },
+            TextOp::Del { pos, content, site } => TextOp::Ins {
+                pos: *pos,
+                content: content.clone(),
+                site: *site,
+            },
+        }
+    }
+}
+
+impl fmt::Debug for TextOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TextOp::Ins { pos, content, site } => write!(f, "Ins({pos}, {content:?}, s{site})"),
+            TextOp::Del { pos, content, site } => write!(f, "Del({pos}, {content:?}, s{site})"),
+        }
+    }
+}
+
+/// Errors surfaced when applying operations to a document.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OtError {
+    /// Insert position beyond end of document.
+    InsertOutOfBounds {
+        /// Requested position.
+        pos: usize,
+        /// Document length.
+        len: usize,
+    },
+    /// Delete position beyond end of document.
+    DeleteOutOfBounds {
+        /// Requested position.
+        pos: usize,
+        /// Document length.
+        len: usize,
+    },
+    /// Delete expected different content — indicates divergence or a
+    /// transformation bug.
+    ContentMismatch {
+        /// Position of the mismatch.
+        pos: usize,
+        /// What the op expected.
+        expected: String,
+        /// What the document held.
+        found: String,
+    },
+    /// A patch failed to decode from its wire form.
+    Codec(String),
+}
+
+impl fmt::Display for OtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OtError::InsertOutOfBounds { pos, len } => {
+                write!(f, "insert at {pos} beyond document length {len}")
+            }
+            OtError::DeleteOutOfBounds { pos, len } => {
+                write!(f, "delete at {pos} beyond document length {len}")
+            }
+            OtError::ContentMismatch {
+                pos,
+                expected,
+                found,
+            } => write!(
+                f,
+                "content mismatch at line {pos}: expected {expected:?}, found {found:?}"
+            ),
+            OtError::Codec(msg) => write!(f, "codec error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OtError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let op = TextOp::ins(3, "hello", 7);
+        assert_eq!(op.pos(), 3);
+        assert_eq!(op.content(), "hello");
+        assert_eq!(op.site(), 7);
+    }
+
+    #[test]
+    fn invert_roundtrips() {
+        let op = TextOp::del(2, "x", 1);
+        assert_eq!(op.invert().invert(), op);
+        assert!(matches!(op.invert(), TextOp::Ins { pos: 2, .. }));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = OtError::ContentMismatch {
+            pos: 1,
+            expected: "a".into(),
+            found: "b".into(),
+        };
+        assert!(e.to_string().contains("mismatch"));
+    }
+}

@@ -1,0 +1,226 @@
+//! Patches — "a sequence of updates wrapped together" after each document
+//! save (RR-6497 §2) — plus a compact self-contained binary codec so they
+//! can travel as DHT values.
+
+use crate::op::{OtError, TextOp};
+use crate::transform::transform_seqs;
+
+/// A patch: the unit that is timestamped, logged and exchanged.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Patch {
+    /// Author site id (used for transformation tie-breaks).
+    pub author: u64,
+    /// The edit script, sequentially applicable.
+    pub ops: Vec<TextOp>,
+}
+
+impl Patch {
+    /// Build a patch.
+    pub fn new(author: u64, ops: Vec<TextOp>) -> Self {
+        Patch { author, ops }
+    }
+
+    /// An empty patch (no-op).
+    pub fn empty(author: u64) -> Self {
+        Patch {
+            author,
+            ops: Vec::new(),
+        }
+    }
+
+    /// True when there is nothing to apply.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Transform this (pending, local) patch over a concurrent `remote`
+    /// patch that won the timestamp race, returning `(remote', self')`:
+    /// `remote'` applies to the local document (which already includes
+    /// `self`), and `self'` is the rebased pending patch. This is the SOCT4
+    /// integration step used during P2P-LTR retrieval.
+    pub fn rebase_over(&self, remote: &Patch) -> (Patch, Patch) {
+        let (remote_t, self_t) = transform_seqs(&remote.ops, &self.ops);
+        (
+            Patch::new(remote.author, remote_t),
+            Patch::new(self.author, self_t),
+        )
+    }
+}
+
+// ---- binary codec --------------------------------------------------------
+//
+// Layout (little endian):
+//   u64 author | u32 op_count | ops…
+// op: u8 tag (0=Ins, 1=Del) | u64 pos | u64 site | u32 len | utf8 bytes
+
+/// Encode a patch to bytes.
+pub fn encode_patch(p: &Patch) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + p.ops.len() * 24);
+    out.extend_from_slice(&p.author.to_le_bytes());
+    out.extend_from_slice(&(p.ops.len() as u32).to_le_bytes());
+    for op in &p.ops {
+        let (tag, pos, content, site) = match op {
+            TextOp::Ins { pos, content, site } => (0u8, pos, content, site),
+            TextOp::Del { pos, content, site } => (1u8, pos, content, site),
+        };
+        out.push(tag);
+        out.extend_from_slice(&(*pos as u64).to_le_bytes());
+        out.extend_from_slice(&site.to_le_bytes());
+        out.extend_from_slice(&(content.len() as u32).to_le_bytes());
+        out.extend_from_slice(content.as_bytes());
+    }
+    out
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], OtError> {
+        if self.at + n > self.buf.len() {
+            return Err(OtError::Codec(format!(
+                "truncated: need {n} bytes at offset {}",
+                self.at
+            )));
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, OtError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, OtError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, OtError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+/// Decode a patch from bytes produced by [`encode_patch`].
+pub fn decode_patch(buf: &[u8]) -> Result<Patch, OtError> {
+    let mut r = Reader { buf, at: 0 };
+    let author = r.u64()?;
+    let count = r.u32()? as usize;
+    if count > 1_000_000 {
+        return Err(OtError::Codec(format!("implausible op count {count}")));
+    }
+    let mut ops = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        let tag = r.u8()?;
+        let pos = r.u64()? as usize;
+        let site = r.u64()?;
+        let len = r.u32()? as usize;
+        let content = std::str::from_utf8(r.take(len)?)
+            .map_err(|e| OtError::Codec(format!("bad utf8: {e}")))?
+            .to_owned();
+        ops.push(match tag {
+            0 => TextOp::Ins { pos, content, site },
+            1 => TextOp::Del { pos, content, site },
+            t => return Err(OtError::Codec(format!("unknown op tag {t}"))),
+        });
+    }
+    if r.at != buf.len() {
+        return Err(OtError::Codec(format!(
+            "{} trailing bytes",
+            buf.len() - r.at
+        )));
+    }
+    Ok(Patch { author, ops })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::Document;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let p = Patch::new(
+            7,
+            vec![TextOp::ins(0, "hello", 7), TextOp::del(3, "bye", 7)],
+        );
+        assert_eq!(decode_patch(&encode_patch(&p)).unwrap(), p);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let p = Patch::empty(1);
+        assert_eq!(decode_patch(&encode_patch(&p)).unwrap(), p);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let p = Patch::new(1, vec![TextOp::ins(0, "x", 1)]);
+        let bytes = encode_patch(&p);
+        for cut in 1..bytes.len() {
+            assert!(
+                decode_patch(&bytes[..cut]).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        let p = Patch::empty(1);
+        let mut bytes = encode_patch(&p);
+        bytes.push(0);
+        assert!(decode_patch(&bytes).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_bad_tag() {
+        let p = Patch::new(1, vec![TextOp::ins(0, "x", 1)]);
+        let mut bytes = encode_patch(&p);
+        bytes[12] = 9; // op tag offset: 8 (author) + 4 (count)
+        assert!(decode_patch(&bytes).is_err());
+    }
+
+    #[test]
+    fn rebase_over_remote() {
+        // Local pending: insert at head. Remote won ts: delete line 0.
+        let base = Document::from_text("a\nb");
+        let local = Patch::new(2, vec![TextOp::ins(0, "local", 2)]);
+        let remote = Patch::new(1, vec![TextOp::del(0, "a", 1)]);
+        let (remote_t, local_t) = local.rebase_over(&remote);
+
+        // Local doc (base ∘ local) then remote'.
+        let mut mine = base.clone();
+        mine.apply_all(&local.ops).unwrap();
+        mine.apply_all(&remote_t.ops).unwrap();
+
+        // Global order: base ∘ remote ∘ local'.
+        let mut global = base.clone();
+        global.apply_all(&remote.ops).unwrap();
+        global.apply_all(&local_t.ops).unwrap();
+
+        assert_eq!(mine.lines(), global.lines());
+        assert_eq!(mine.to_text(), "local\nb");
+    }
+
+    proptest! {
+        #[test]
+        fn codec_roundtrip_random(
+            author in 0u64..u64::MAX,
+            ops in prop::collection::vec(
+                (prop::bool::ANY, 0usize..1000, ".*", 0u64..50).prop_map(|(ins, pos, content, site)| {
+                    if ins { TextOp::ins(pos, content, site) } else { TextOp::del(pos, content, site) }
+                }),
+                0..20
+            )
+        ) {
+            let p = Patch::new(author, ops);
+            prop_assert_eq!(decode_patch(&encode_patch(&p)).unwrap(), p);
+        }
+    }
+}

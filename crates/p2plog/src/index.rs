@@ -1,0 +1,127 @@
+//! Per-node index of the log records it stores, enabling watermark-based
+//! garbage collection (an extension: the paper leaves log growth open).
+
+use std::collections::{BTreeMap, HashMap};
+
+use chord::Id;
+
+/// Index kept by every node over the log records in its DHT storage:
+/// `doc → ts → storage keys` (a node can hold several replicas of the same
+/// record under different `h_i`).
+#[derive(Clone, Debug, Default)]
+pub struct LogIndex {
+    per_doc: HashMap<String, BTreeMap<u64, Vec<Id>>>,
+}
+
+impl LogIndex {
+    /// Fresh empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a stored record.
+    pub fn insert(&mut self, doc: &str, ts: u64, key: Id) {
+        let slots = self
+            .per_doc
+            .entry(doc.to_owned())
+            .or_default()
+            .entry(ts)
+            .or_default();
+        if !slots.contains(&key) {
+            slots.push(key);
+        }
+    }
+
+    /// Remove records of `doc` with `ts <= watermark`, returning the DHT
+    /// storage keys that can now be deleted.
+    pub fn prune_below(&mut self, doc: &str, watermark: u64) -> Vec<Id> {
+        let mut freed = Vec::new();
+        if let Some(by_ts) = self.per_doc.get_mut(doc) {
+            let keep = by_ts.split_off(&(watermark + 1));
+            for (_, keys) in std::mem::replace(by_ts, keep) {
+                freed.extend(keys);
+            }
+            if by_ts.is_empty() {
+                self.per_doc.remove(doc);
+            }
+        }
+        freed
+    }
+
+    /// Highest indexed timestamp for `doc`.
+    pub fn high_ts(&self, doc: &str) -> Option<u64> {
+        self.per_doc
+            .get(doc)
+            .and_then(|m| m.keys().next_back().copied())
+    }
+
+    /// Lowest indexed timestamp for `doc`.
+    pub fn low_ts(&self, doc: &str) -> Option<u64> {
+        self.per_doc.get(doc).and_then(|m| m.keys().next().copied())
+    }
+
+    /// Total records indexed.
+    pub fn len(&self) -> usize {
+        self.per_doc.values().map(|m| m.values().map(Vec::len).sum::<usize>()).sum()
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.per_doc.is_empty()
+    }
+
+    /// Documents present in the index.
+    pub fn docs(&self) -> impl Iterator<Item = &str> {
+        self.per_doc.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_watermark_prune() {
+        let mut idx = LogIndex::new();
+        for ts in 1..=10u64 {
+            idx.insert("doc", ts, Id(ts * 100));
+        }
+        assert_eq!(idx.len(), 10);
+        assert_eq!(idx.low_ts("doc"), Some(1));
+        assert_eq!(idx.high_ts("doc"), Some(10));
+
+        let freed = idx.prune_below("doc", 4);
+        assert_eq!(freed.len(), 4);
+        assert!(freed.contains(&Id(100)) && freed.contains(&Id(400)));
+        assert_eq!(idx.low_ts("doc"), Some(5));
+        assert_eq!(idx.len(), 6);
+    }
+
+    #[test]
+    fn duplicate_keys_not_double_indexed() {
+        let mut idx = LogIndex::new();
+        idx.insert("doc", 1, Id(5));
+        idx.insert("doc", 1, Id(5));
+        idx.insert("doc", 1, Id(6));
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn prune_everything_clears_doc() {
+        let mut idx = LogIndex::new();
+        idx.insert("doc", 1, Id(1));
+        idx.prune_below("doc", 10);
+        assert!(idx.is_empty());
+        assert_eq!(idx.high_ts("doc"), None);
+    }
+
+    #[test]
+    fn docs_are_independent() {
+        let mut idx = LogIndex::new();
+        idx.insert("a", 1, Id(1));
+        idx.insert("b", 2, Id(2));
+        idx.prune_below("a", 5);
+        assert_eq!(idx.high_ts("b"), Some(2));
+        assert_eq!(idx.high_ts("a"), None);
+    }
+}

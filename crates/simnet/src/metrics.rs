@@ -1,0 +1,271 @@
+//! Lightweight metrics registry: counters and raw-sample histograms.
+//!
+//! Experiments run at modest scale (thousands–millions of samples), so
+//! histograms keep raw `f64` samples and compute exact quantiles on demand.
+//! Keys are `String` so protocol layers can build dimensioned names like
+//! `"validate.rtt.n=64"` without a global enum.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::time::Duration;
+
+/// A histogram over raw samples with exact quantiles.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    samples: Vec<f64>,
+}
+
+impl Histogram {
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: f64) {
+        self.samples.push(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Exact quantile by nearest-rank; `q` in `[0,1]`. 0.0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Minimum sample, or 0.0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// Maximum sample, or 0.0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        }
+    }
+
+    /// Condensed summary for reports.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count(),
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            min: self.min(),
+            max: self.max(),
+        }
+    }
+
+    /// Borrow the raw samples (for custom analyses in experiments).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+/// Point-in-time condensation of a histogram.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (nearest rank).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} p50={:.3} p95={:.3} p99={:.3} max={:.3}",
+            self.count, self.mean, self.p50, self.p95, self.p99, self.max
+        )
+    }
+}
+
+/// Registry of named counters and histograms.
+///
+/// Uses `BTreeMap` so iteration (reporting) is deterministically ordered.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// Fresh empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to the named counter (creating it at zero).
+    pub fn incr_by(&mut self, name: &str, delta: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += delta;
+        } else {
+            self.counters.insert(name.to_owned(), delta);
+        }
+    }
+
+    /// Increment the named counter by one.
+    #[inline]
+    pub fn incr(&mut self, name: &str) {
+        self.incr_by(name, 1);
+    }
+
+    /// Read a counter (0 if never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Record a raw sample into the named histogram.
+    pub fn record(&mut self, name: &str, v: f64) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.record(v);
+        } else {
+            let mut h = Histogram::default();
+            h.record(v);
+            self.histograms.insert(name.to_owned(), h);
+        }
+    }
+
+    /// Record a duration in **milliseconds** into the named histogram,
+    /// the convention used by all latency metrics in this workspace.
+    #[inline]
+    pub fn record_latency(&mut self, name: &str, d: Duration) {
+        self.record(name, d.as_millis_f64());
+    }
+
+    /// Borrow a histogram if present.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Summary of a histogram (default/empty when absent).
+    pub fn summary(&self, name: &str) -> Summary {
+        self.histograms
+            .get(name)
+            .map(Histogram::summary)
+            .unwrap_or_default()
+    }
+
+    /// Iterate counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterate histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Merge another registry into this one (used to aggregate runs).
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in &other.counters {
+            self.incr_by(k, *v);
+        }
+        for (k, h) in &other.histograms {
+            for &s in h.samples() {
+                self.record(k, s);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.incr("msgs");
+        m.incr_by("msgs", 4);
+        assert_eq!(m.counter("msgs"), 5);
+        assert_eq!(m.counter("absent"), 0);
+    }
+
+    #[test]
+    fn histogram_quantiles_exact() {
+        let mut h = Histogram::default();
+        for v in 1..=100 {
+            h.record(v as f64);
+        }
+        assert_eq!(h.count(), 100);
+        assert!((h.mean() - 50.5).abs() < 1e-9);
+        assert_eq!(h.quantile(0.5), 50.0);
+        assert_eq!(h.quantile(0.95), 95.0);
+        assert_eq!(h.quantile(1.0), 100.0);
+        assert_eq!(h.quantile(0.0), 1.0);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 100.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = Histogram::default();
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.p99, 0.0);
+    }
+
+    #[test]
+    fn latency_recorded_in_millis() {
+        let mut m = Metrics::new();
+        m.record_latency("rtt", Duration::from_micros(2_500));
+        assert!((m.summary("rtt").mean - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Metrics::new();
+        let mut b = Metrics::new();
+        a.incr("x");
+        b.incr_by("x", 2);
+        b.record("h", 1.0);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 3);
+        assert_eq!(a.summary("h").count, 1);
+    }
+
+    #[test]
+    fn deterministic_iteration_order() {
+        let mut m = Metrics::new();
+        m.incr("zeta");
+        m.incr("alpha");
+        let names: Vec<&str> = m.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+}

@@ -1,0 +1,219 @@
+//! Network model: per-message latency sampling, loss, and partitions.
+//!
+//! The paper's prototype let the operator "specify the number of peers or
+//! network latencies, or provoke failures"; this module is that knob set.
+
+use std::collections::HashSet;
+
+use crate::rng::Rng64;
+use crate::time::Duration;
+use crate::NodeId;
+
+/// How one-way message latency is sampled.
+#[derive(Clone, Debug)]
+pub enum LatencyModel {
+    /// Fixed one-way delay.
+    Constant(Duration),
+    /// Uniform in `[min, max]`.
+    Uniform(Duration, Duration),
+    /// Log-normal with the given median and shape `sigma`, clamped below by
+    /// `floor`. This is the standard WAN model (heavy right tail).
+    LogNormal {
+        /// Median one-way delay.
+        median: Duration,
+        /// Log-space standard deviation (0.3–0.6 is WAN-like).
+        sigma: f64,
+        /// Hard lower bound (propagation floor).
+        floor: Duration,
+    },
+}
+
+impl LatencyModel {
+    /// Convenience: a LAN-ish uniform 0.5–2 ms model.
+    pub fn lan() -> Self {
+        LatencyModel::Uniform(Duration::from_micros(500), Duration::from_millis(2))
+    }
+
+    /// Convenience: a WAN-ish log-normal model with 40 ms median.
+    pub fn wan() -> Self {
+        LatencyModel::LogNormal {
+            median: Duration::from_millis(40),
+            sigma: 0.35,
+            floor: Duration::from_millis(5),
+        }
+    }
+
+    /// Sample a one-way delay.
+    pub fn sample(&self, rng: &mut Rng64) -> Duration {
+        match *self {
+            LatencyModel::Constant(d) => d,
+            LatencyModel::Uniform(lo, hi) => {
+                debug_assert!(lo <= hi);
+                Duration::from_micros(rng.gen_range(lo.as_micros(), hi.as_micros()))
+            }
+            LatencyModel::LogNormal {
+                median,
+                sigma,
+                floor,
+            } => {
+                let us = rng.log_normal_median(median.as_micros() as f64, sigma);
+                let us = us.max(floor.as_micros() as f64).min(1e12);
+                Duration::from_micros(us as u64)
+            }
+        }
+    }
+}
+
+/// The full network configuration.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Latency model for remote messages.
+    pub latency: LatencyModel,
+    /// Extra delay applied to a node sending to itself (local dispatch).
+    pub local_delay: Duration,
+    /// Independent per-message drop probability (0.0 = reliable).
+    pub loss: f64,
+    /// Blocked unordered pairs (network partition edges).
+    partitions: HashSet<(NodeId, NodeId)>,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            latency: LatencyModel::lan(),
+            local_delay: Duration::from_micros(10),
+            loss: 0.0,
+            partitions: HashSet::new(),
+        }
+    }
+}
+
+impl NetConfig {
+    /// LAN defaults (uniform 0.5–2 ms, lossless).
+    pub fn lan() -> Self {
+        Self::default()
+    }
+
+    /// WAN defaults (log-normal 40 ms median, lossless).
+    pub fn wan() -> Self {
+        NetConfig {
+            latency: LatencyModel::wan(),
+            ..Self::default()
+        }
+    }
+
+    fn edge(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+        if a.0 <= b.0 {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Block all traffic between `a` and `b` (both directions).
+    pub fn partition(&mut self, a: NodeId, b: NodeId) {
+        self.partitions.insert(Self::edge(a, b));
+    }
+
+    /// Restore traffic between `a` and `b`.
+    pub fn heal(&mut self, a: NodeId, b: NodeId) {
+        self.partitions.remove(&Self::edge(a, b));
+    }
+
+    /// Remove all partitions.
+    pub fn heal_all(&mut self) {
+        self.partitions.clear();
+    }
+
+    /// Is the link currently cut?
+    pub fn is_partitioned(&self, a: NodeId, b: NodeId) -> bool {
+        self.partitions.contains(&Self::edge(a, b))
+    }
+
+    /// Decide the fate of a message: `None` = dropped, `Some(delay)` =
+    /// delivered after `delay`.
+    pub fn route(&self, rng: &mut Rng64, from: NodeId, to: NodeId) -> Option<Duration> {
+        if from == to {
+            return Some(self.local_delay);
+        }
+        if self.is_partitioned(from, to) {
+            return None;
+        }
+        if self.loss > 0.0 && rng.chance(self.loss) {
+            return None;
+        }
+        Some(self.latency.sample(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn constant_latency() {
+        let mut rng = Rng64::new(1);
+        let m = LatencyModel::Constant(Duration::from_millis(3));
+        assert_eq!(m.sample(&mut rng), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn uniform_latency_in_bounds() {
+        let mut rng = Rng64::new(2);
+        let lo = Duration::from_micros(100);
+        let hi = Duration::from_micros(500);
+        let m = LatencyModel::Uniform(lo, hi);
+        for _ in 0..1000 {
+            let d = m.sample(&mut rng);
+            assert!(d >= lo && d <= hi);
+        }
+    }
+
+    #[test]
+    fn lognormal_respects_floor() {
+        let mut rng = Rng64::new(3);
+        let m = LatencyModel::LogNormal {
+            median: Duration::from_millis(10),
+            sigma: 1.5,
+            floor: Duration::from_millis(2),
+        };
+        for _ in 0..2000 {
+            assert!(m.sample(&mut rng) >= Duration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn partition_blocks_both_directions() {
+        let mut cfg = NetConfig::lan();
+        let mut rng = Rng64::new(4);
+        cfg.partition(n(1), n(2));
+        assert!(cfg.route(&mut rng, n(1), n(2)).is_none());
+        assert!(cfg.route(&mut rng, n(2), n(1)).is_none());
+        assert!(cfg.route(&mut rng, n(1), n(3)).is_some());
+        cfg.heal(n(2), n(1));
+        assert!(cfg.route(&mut rng, n(1), n(2)).is_some());
+    }
+
+    #[test]
+    fn loss_rate_approximate() {
+        let mut cfg = NetConfig::lan();
+        cfg.loss = 0.25;
+        let mut rng = Rng64::new(5);
+        let delivered = (0..10_000)
+            .filter(|_| cfg.route(&mut rng, n(1), n(2)).is_some())
+            .count();
+        assert!((7000..8000).contains(&delivered), "delivered {delivered}");
+    }
+
+    #[test]
+    fn self_send_uses_local_delay_and_ignores_loss() {
+        let mut cfg = NetConfig::lan();
+        cfg.loss = 1.0;
+        let mut rng = Rng64::new(6);
+        assert_eq!(cfg.route(&mut rng, n(7), n(7)), Some(cfg.local_delay));
+    }
+}

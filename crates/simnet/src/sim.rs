@@ -1,0 +1,622 @@
+//! The discrete-event simulation driver.
+//!
+//! A [`Sim`] owns a set of nodes (each a boxed [`Process`]), a priority queue
+//! of pending events (message deliveries, timer firings, scripted control
+//! actions), a [`NetConfig`] deciding per-message latency/loss, a seeded
+//! deterministic RNG, and a [`Metrics`] registry. Executions are totally
+//! deterministic given the seed and the sequence of API calls: ties in the
+//! event queue are broken by insertion sequence number.
+
+use std::any::Any;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::metrics::Metrics;
+use crate::net::NetConfig;
+use crate::process::{Ctx, Outbox, Process, TimerId};
+use crate::rng::Rng64;
+use crate::time::{Duration, Time};
+use crate::NodeId;
+
+/// Lifecycle state of a simulated node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeState {
+    /// Running: receives messages and timers.
+    Up,
+    /// Crash-stopped: silently drops everything (fail-stop model).
+    Crashed,
+    /// Left gracefully via [`Sim::remove`].
+    Departed,
+}
+
+/// One scheduled control action (scripted churn, workload steps, …).
+pub type ControlFn<M> = Box<dyn FnOnce(&mut Sim<M>)>;
+
+enum EventKind<M> {
+    Deliver { to: NodeId, from: NodeId, msg: M },
+    Timer { node: NodeId, id: TimerId, tag: u64 },
+    Control(ControlFn<M>),
+}
+
+struct Entry<M> {
+    at: Time,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Entry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Entry<M> {}
+impl<M> PartialOrd for Entry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Entry<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Object-safe supertrait adding downcasting, so experiments can inspect
+/// node state after a run. Blanket-implemented for every `Process + Any`.
+pub trait ProcessAny<M>: Process<M> {
+    /// Upcast to `&dyn Any` for downcasting.
+    fn as_any(&self) -> &dyn Any;
+    /// Upcast to `&mut dyn Any` for downcasting.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<M, T: Process<M> + Any> ProcessAny<M> for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+struct Slot<M> {
+    proc: Option<Box<dyn ProcessAny<M>>>,
+    state: NodeState,
+}
+
+/// The simulator. See the crate docs for the execution model.
+pub struct Sim<M> {
+    now: Time,
+    seq: u64,
+    queue: BinaryHeap<Entry<M>>,
+    nodes: Vec<Slot<M>>,
+    rng: Rng64,
+    metrics: Metrics,
+    net: NetConfig,
+    timer_seq: u64,
+    cancelled: HashSet<TimerId>,
+    trace_enabled: bool,
+    trace: Vec<String>,
+    trace_cap: usize,
+}
+
+impl<M: std::fmt::Debug + 'static> Sim<M> {
+    /// Create a simulator with the given RNG seed and network model.
+    pub fn new(seed: u64, net: NetConfig) -> Self {
+        Sim {
+            now: Time::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            nodes: Vec::new(),
+            rng: Rng64::new(seed),
+            metrics: Metrics::new(),
+            net,
+            timer_seq: 0,
+            cancelled: HashSet::new(),
+            trace_enabled: false,
+            trace: Vec::new(),
+            trace_cap: 100_000,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Shared metrics registry (read).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Shared metrics registry (write, e.g. to pre-register or reset).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// Network configuration (mutable: partitions/loss can change mid-run).
+    pub fn net_mut(&mut self) -> &mut NetConfig {
+        &mut self.net
+    }
+
+    /// The simulator RNG (e.g. for workload decisions in control scripts).
+    pub fn rng_mut(&mut self) -> &mut Rng64 {
+        &mut self.rng
+    }
+
+    /// Enable/disable message tracing (debug aid; capped buffer).
+    pub fn set_trace(&mut self, on: bool) {
+        self.trace_enabled = on;
+    }
+
+    /// Drain the trace buffer.
+    pub fn take_trace(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Number of events still pending.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    /// Add a node and invoke its `on_start` immediately (at the current time).
+    pub fn add_node<P: Process<M> + Any>(&mut self, proc: P) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Slot {
+            proc: Some(Box::new(proc)),
+            state: NodeState::Up,
+        });
+        self.metrics.incr("sim.nodes_added");
+        self.dispatch(id, |p, ctx| p.on_start(ctx));
+        id
+    }
+
+    /// Lifecycle state of a node.
+    pub fn node_state(&self, id: NodeId) -> NodeState {
+        self.nodes[id.0 as usize].state
+    }
+
+    /// Ids of all nodes currently `Up`.
+    pub fn alive_nodes(&self) -> Vec<NodeId> {
+        (0..self.nodes.len() as u32)
+            .map(NodeId)
+            .filter(|&n| self.nodes[n.0 as usize].state == NodeState::Up)
+            .collect()
+    }
+
+    /// Total number of node slots ever created.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Downcast a node's process state for inspection.
+    pub fn node_as<T: 'static>(&self, id: NodeId) -> Option<&T> {
+        self.nodes[id.0 as usize]
+            .proc
+            .as_ref()
+            .and_then(|p| p.as_any().downcast_ref::<T>())
+    }
+
+    /// Downcast a node's process state for mutation (test/debug only).
+    pub fn node_as_mut<T: 'static>(&mut self, id: NodeId) -> Option<&mut T> {
+        self.nodes[id.0 as usize]
+            .proc
+            .as_mut()
+            .and_then(|p| p.as_any_mut().downcast_mut::<T>())
+    }
+
+    /// Crash-stop a node: it silently drops all future messages and timers.
+    pub fn crash(&mut self, id: NodeId) {
+        let slot = &mut self.nodes[id.0 as usize];
+        if slot.state == NodeState::Up {
+            slot.state = NodeState::Crashed;
+            self.metrics.incr("sim.crashes");
+        }
+    }
+
+    /// Gracefully remove a node: `on_stop` runs first (its goodbye messages
+    /// are delivered; timers it arms are discarded), then the node stops.
+    pub fn remove(&mut self, id: NodeId) {
+        if self.nodes[id.0 as usize].state != NodeState::Up {
+            return;
+        }
+        self.dispatch_stop(id);
+        self.nodes[id.0 as usize].state = NodeState::Departed;
+        self.metrics.incr("sim.departures");
+    }
+
+    /// Inject a message "from outside the network" (e.g. a user action).
+    /// Delivered after the local-delay latency.
+    pub fn send_external(&mut self, to: NodeId, msg: M) {
+        let at = self.now + self.net.local_delay;
+        let seq = self.next_seq();
+        self.queue.push(Entry {
+            at,
+            seq,
+            kind: EventKind::Deliver { to, from: to, msg },
+        });
+    }
+
+    /// Schedule a control closure to run at absolute time `at`.
+    pub fn schedule_at(&mut self, at: Time, f: ControlFn<M>) {
+        assert!(at >= self.now, "scheduling in the past");
+        let seq = self.next_seq();
+        self.queue.push(Entry {
+            at,
+            seq,
+            kind: EventKind::Control(f),
+        });
+    }
+
+    /// Schedule a control closure to run after `delay`.
+    pub fn schedule_in(&mut self, delay: Duration, f: ControlFn<M>) {
+        self.schedule_at(self.now + delay, f);
+    }
+
+    fn dispatch<F>(&mut self, node: NodeId, f: F)
+    where
+        F: FnOnce(&mut dyn ProcessAny<M>, &mut Ctx<'_, M>),
+    {
+        let mut proc = match self.nodes[node.0 as usize].proc.take() {
+            Some(p) => p,
+            None => return, // re-entrant dispatch is impossible; defensive
+        };
+        let mut ctx = Ctx {
+            now: self.now,
+            self_id: node,
+            rng: &mut self.rng,
+            metrics: &mut self.metrics,
+            timer_seq: &mut self.timer_seq,
+            out: Outbox::new(),
+        };
+        f(proc.as_mut(), &mut ctx);
+        let out = ctx.out;
+        self.nodes[node.0 as usize].proc = Some(proc);
+        self.flush(node, out, true);
+    }
+
+    fn dispatch_stop(&mut self, node: NodeId) {
+        let mut proc = match self.nodes[node.0 as usize].proc.take() {
+            Some(p) => p,
+            None => return,
+        };
+        let mut ctx = Ctx {
+            now: self.now,
+            self_id: node,
+            rng: &mut self.rng,
+            metrics: &mut self.metrics,
+            timer_seq: &mut self.timer_seq,
+            out: Outbox::new(),
+        };
+        proc.on_stop(&mut ctx);
+        let out = ctx.out;
+        self.nodes[node.0 as usize].proc = Some(proc);
+        // Goodbye messages fly; timers from a departing node are meaningless.
+        self.flush(node, out, false);
+    }
+
+    fn flush(&mut self, from: NodeId, out: Outbox<M>, allow_timers: bool) {
+        for (to, msg) in out.msgs {
+            self.metrics.incr("sim.msgs_sent");
+            match self.net.route(&mut self.rng, from, to) {
+                Some(delay) => {
+                    if self.trace_enabled && self.trace.len() < self.trace_cap {
+                        self.trace.push(format!(
+                            "{} {:?} -> {:?} (+{}) {:?}",
+                            self.now, from, to, delay, msg
+                        ));
+                    }
+                    let at = self.now + delay;
+                    let seq = self.next_seq();
+                    self.queue.push(Entry {
+                        at,
+                        seq,
+                        kind: EventKind::Deliver { to, from, msg },
+                    });
+                }
+                None => {
+                    self.metrics.incr("sim.msgs_dropped");
+                }
+            }
+        }
+        if allow_timers {
+            for (id, delay, tag) in out.timers {
+                let at = self.now + delay;
+                let seq = self.next_seq();
+                self.queue.push(Entry {
+                    at,
+                    seq,
+                    kind: EventKind::Timer { node: from, id, tag },
+                });
+            }
+        }
+        for id in out.cancels {
+            self.cancelled.insert(id);
+        }
+        if out.halt {
+            // Node asked to stop itself (after a graceful handoff).
+            let slot = &mut self.nodes[from.0 as usize];
+            if slot.state == NodeState::Up {
+                slot.state = NodeState::Departed;
+                self.metrics.incr("sim.departures");
+            }
+        }
+    }
+
+    /// Execute the single earliest pending event. Returns `false` when the
+    /// queue is empty.
+    pub fn step(&mut self) -> bool {
+        let entry = match self.queue.pop() {
+            Some(e) => e,
+            None => return false,
+        };
+        debug_assert!(entry.at >= self.now, "time went backwards");
+        self.now = entry.at;
+        match entry.kind {
+            EventKind::Deliver { to, from, msg } => {
+                if self.nodes[to.0 as usize].state == NodeState::Up {
+                    self.metrics.incr("sim.msgs_delivered");
+                    self.dispatch(to, |p, ctx| p.on_message(ctx, from, msg));
+                } else {
+                    self.metrics.incr("sim.msgs_to_dead");
+                }
+            }
+            EventKind::Timer { node, id, tag } => {
+                if self.cancelled.remove(&id) {
+                    self.metrics.incr("sim.timers_cancelled");
+                } else if self.nodes[node.0 as usize].state == NodeState::Up {
+                    self.metrics.incr("sim.timers_fired");
+                    self.dispatch(node, |p, ctx| p.on_timer(ctx, tag));
+                }
+            }
+            EventKind::Control(f) => {
+                f(self);
+            }
+        }
+        true
+    }
+
+    /// Run all events with `time <= until`, then set the clock to `until`.
+    pub fn run_until(&mut self, until: Time) {
+        while let Some(head) = self.queue.peek() {
+            if head.at > until {
+                break;
+            }
+            self.step();
+        }
+        if until > self.now {
+            self.now = until;
+        }
+    }
+
+    /// Run for `d` more simulated time.
+    pub fn run_for(&mut self, d: Duration) {
+        let target = self.now + d;
+        self.run_until(target);
+    }
+
+    /// Run until the event queue is completely empty or `horizon` is hit.
+    /// Only safe when no recurring timers are armed; mainly for unit tests.
+    pub fn run_to_quiescence(&mut self, horizon: Time) {
+        while let Some(head) = self.queue.peek() {
+            if head.at > horizon {
+                break;
+            }
+            self.step();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    enum Msg {
+        Ping(u32),
+        Pong(#[allow(dead_code)] u32),
+    }
+
+    /// Test process: replies to pings, counts pongs, re-arms a periodic timer.
+    struct Echo {
+        pongs: u32,
+        ticks: u32,
+        peer: Option<NodeId>,
+    }
+
+    impl Process<Msg> for Echo {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            ctx.set_timer(Duration::from_millis(10), 1);
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+            match msg {
+                Msg::Ping(n) => ctx.send(from, Msg::Pong(n)),
+                Msg::Pong(_) => self.pongs += 1,
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, tag: u64) {
+            if tag == 1 {
+                self.ticks += 1;
+                if let Some(peer) = self.peer {
+                    ctx.send(peer, Msg::Ping(self.ticks));
+                }
+                if self.ticks < 5 {
+                    ctx.set_timer(Duration::from_millis(10), 1);
+                }
+            }
+        }
+    }
+
+    fn new_sim() -> Sim<Msg> {
+        let mut net = NetConfig::lan();
+        net.latency = crate::net::LatencyModel::Constant(Duration::from_millis(1));
+        Sim::new(42, net)
+    }
+
+    #[test]
+    fn ping_pong_round_trips() {
+        let mut sim = new_sim();
+        let b = sim.add_node(Echo {
+            pongs: 0,
+            ticks: 0,
+            peer: None,
+        });
+        let _a = sim.add_node(Echo {
+            pongs: 0,
+            ticks: 0,
+            peer: Some(b),
+        });
+        // b has no peer so only a sends pings: 5 ticks -> 5 pongs back to a.
+        sim.run_until(Time::from_secs(1));
+        let a_state = sim.node_as::<Echo>(_a).unwrap();
+        assert_eq!(a_state.pongs, 5);
+        assert_eq!(a_state.ticks, 5);
+        assert_eq!(sim.metrics().counter("sim.msgs_delivered"), 10);
+    }
+
+    #[test]
+    fn crash_stops_message_and_timer_delivery() {
+        let mut sim = new_sim();
+        let b = sim.add_node(Echo {
+            pongs: 0,
+            ticks: 0,
+            peer: None,
+        });
+        let a = sim.add_node(Echo {
+            pongs: 0,
+            ticks: 0,
+            peer: Some(b),
+        });
+        sim.run_until(Time::from_millis(15)); // one tick happened
+        sim.crash(b);
+        sim.run_until(Time::from_secs(1));
+        let a_state = sim.node_as::<Echo>(a).unwrap();
+        assert_eq!(a_state.ticks, 5, "a keeps ticking");
+        assert_eq!(a_state.pongs, 1, "only the pre-crash ping was answered");
+        assert_eq!(sim.node_state(b), NodeState::Crashed);
+        assert!(sim.metrics().counter("sim.msgs_to_dead") >= 4);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_metrics() {
+        let run = |seed: u64| {
+            let mut net = NetConfig::lan();
+            net.loss = 0.1;
+            let mut sim: Sim<Msg> = Sim::new(seed, net);
+            let b = sim.add_node(Echo {
+                pongs: 0,
+                ticks: 0,
+                peer: None,
+            });
+            let _a = sim.add_node(Echo {
+                pongs: 0,
+                ticks: 0,
+                peer: Some(b),
+            });
+            sim.run_until(Time::from_secs(2));
+            (
+                sim.metrics().counter("sim.msgs_delivered"),
+                sim.metrics().counter("sim.msgs_dropped"),
+            )
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn control_events_run_at_scheduled_time() {
+        let mut sim = new_sim();
+        let b = sim.add_node(Echo {
+            pongs: 0,
+            ticks: 0,
+            peer: None,
+        });
+        sim.schedule_at(
+            Time::from_millis(25),
+            Box::new(move |s: &mut Sim<Msg>| {
+                s.crash(b);
+                assert_eq!(s.now().as_millis(), 25);
+            }),
+        );
+        sim.run_until(Time::from_secs(1));
+        assert_eq!(sim.node_state(b), NodeState::Crashed);
+    }
+
+    #[test]
+    fn graceful_remove_delivers_goodbyes() {
+        struct Goodbye {
+            target: NodeId,
+        }
+        impl Process<Msg> for Goodbye {
+            fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _from: NodeId, _msg: Msg) {}
+            fn on_stop(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                ctx.send(self.target, Msg::Ping(99));
+            }
+        }
+        let mut sim = new_sim();
+        let receiver = sim.add_node(Echo {
+            pongs: 0,
+            ticks: 0,
+            peer: None,
+        });
+        let leaver = sim.add_node(Goodbye { target: receiver });
+        sim.run_until(Time::from_millis(5));
+        sim.remove(leaver);
+        sim.run_until(Time::from_millis(100));
+        assert_eq!(sim.node_state(leaver), NodeState::Departed);
+        // The goodbye ping was delivered (receiver replied to a dead node).
+        assert!(sim.metrics().counter("sim.msgs_to_dead") >= 1);
+    }
+
+    #[test]
+    fn cancelled_timer_does_not_fire() {
+        struct Canceller {
+            fired: bool,
+        }
+        impl Process<Msg> for Canceller {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                let id = ctx.set_timer(Duration::from_millis(10), 1);
+                ctx.cancel_timer(id);
+                ctx.set_timer(Duration::from_millis(20), 2);
+            }
+            fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _f: NodeId, _m: Msg) {}
+            fn on_timer(&mut self, _ctx: &mut Ctx<'_, Msg>, tag: u64) {
+                assert_eq!(tag, 2, "cancelled timer fired");
+                self.fired = true;
+            }
+        }
+        let mut sim = new_sim();
+        let n = sim.add_node(Canceller { fired: false });
+        sim.run_until(Time::from_millis(100));
+        assert!(sim.node_as::<Canceller>(n).unwrap().fired);
+        assert_eq!(sim.metrics().counter("sim.timers_cancelled"), 1);
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut sim = new_sim();
+        sim.run_until(Time::from_secs(5));
+        assert_eq!(sim.now(), Time::from_secs(5));
+    }
+
+    #[test]
+    fn external_send_reaches_node() {
+        let mut sim = new_sim();
+        let b = sim.add_node(Echo {
+            pongs: 0,
+            ticks: 0,
+            peer: None,
+        });
+        sim.send_external(b, Msg::Pong(1));
+        sim.run_until(Time::from_millis(1));
+        assert_eq!(sim.node_as::<Echo>(b).unwrap().pongs, 1);
+    }
+}

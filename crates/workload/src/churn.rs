@@ -1,0 +1,231 @@
+//! Churn schedules: scripted and randomized joins, graceful leaves and
+//! crashes ("we may … provoke failures", RR-6497 §4).
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use chord::{Id, NodeRef};
+use p2p_ltr::{LtrConfig, LtrNode, Payload, UserCmd};
+use simnet::{Duration, NodeId, NodeState, Rng64, Sim, Time};
+
+/// What a churn event does.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChurnAction {
+    /// Crash-stop a random unprotected peer.
+    Crash,
+    /// Graceful leave of a random unprotected peer.
+    Leave,
+    /// A brand-new peer joins.
+    Join,
+}
+
+/// Randomized churn parameters.
+#[derive(Clone, Debug)]
+pub struct ChurnSpec {
+    /// Mean time between churn events (exponential).
+    pub mean_interval: Duration,
+    /// Relative weight of crashes.
+    pub crash_weight: u32,
+    /// Relative weight of graceful leaves.
+    pub leave_weight: u32,
+    /// Relative weight of joins.
+    pub join_weight: u32,
+    /// Peers that are never removed (e.g. the measured editors).
+    pub protected: Vec<NodeRef>,
+    /// Keep at least this many peers alive.
+    pub min_alive: usize,
+    /// Stop scheduling events after this time.
+    pub horizon: Time,
+}
+
+struct ChurnInner {
+    spec: ChurnSpec,
+    protected: HashSet<NodeId>,
+    cfg: LtrConfig,
+}
+
+/// Schedule a precise crash at an absolute time.
+pub fn schedule_crash(sim: &mut Sim<Payload>, at: Time, peer: NodeRef) {
+    sim.schedule_at(
+        at,
+        Box::new(move |s: &mut Sim<Payload>| {
+            s.crash(peer.addr);
+            s.metrics_mut().incr("churn.crashes");
+        }),
+    );
+}
+
+/// Schedule a precise graceful leave at an absolute time.
+pub fn schedule_leave(sim: &mut Sim<Payload>, at: Time, peer: NodeRef) {
+    sim.schedule_at(
+        at,
+        Box::new(move |s: &mut Sim<Payload>| {
+            if s.node_state(peer.addr) == NodeState::Up {
+                s.send_external(peer.addr, Payload::Cmd(UserCmd::Leave));
+                s.metrics_mut().incr("churn.leaves");
+            }
+        }),
+    );
+}
+
+/// Schedule a join of a fresh peer named `name` at an absolute time.
+/// The joiner bootstraps via any live peer.
+pub fn schedule_join(sim: &mut Sim<Payload>, at: Time, name: String, cfg: LtrConfig) {
+    sim.schedule_at(
+        at,
+        Box::new(move |s: &mut Sim<Payload>| {
+            join_now(s, &name, &cfg);
+        }),
+    );
+}
+
+fn live_peers(sim: &Sim<Payload>) -> Vec<NodeRef> {
+    sim.alive_nodes()
+        .into_iter()
+        .filter_map(|a| sim.node_as::<LtrNode>(a).map(|n| n.me()))
+        .collect()
+}
+
+fn join_now(sim: &mut Sim<Payload>, name: &str, cfg: &LtrConfig) -> Option<NodeRef> {
+    let bootstrap = live_peers(sim).first().copied()?;
+    let id = Id::hash(name.as_bytes());
+    let addr = NodeId(sim.node_count() as u32);
+    let me = NodeRef::new(addr, id);
+    let assigned = sim.add_node(LtrNode::new(me, cfg.clone(), Some(bootstrap), Duration::ZERO));
+    debug_assert_eq!(assigned, addr);
+    sim.metrics_mut().incr("churn.joins");
+    Some(me)
+}
+
+/// Run randomized churn until the horizon. Deterministic given `seed`.
+pub fn drive_churn(sim: &mut Sim<Payload>, spec: ChurnSpec, cfg: LtrConfig, seed: u64) {
+    let inner = Arc::new(ChurnInner {
+        protected: spec.protected.iter().map(|p| p.addr).collect(),
+        spec,
+        cfg,
+    });
+    let rng = Rng64::new(seed);
+    let first = sim.now() + inner.spec.mean_interval;
+    schedule_churn_step(sim, first, inner, rng, 0);
+}
+
+fn schedule_churn_step(
+    sim: &mut Sim<Payload>,
+    at: Time,
+    inner: Arc<ChurnInner>,
+    mut rng: Rng64,
+    counter: u64,
+) {
+    if at > inner.spec.horizon {
+        return;
+    }
+    let at = at.max(sim.now());
+    sim.schedule_at(
+        at,
+        Box::new(move |s: &mut Sim<Payload>| {
+            let spec = &inner.spec;
+            let total = (spec.crash_weight + spec.leave_weight + spec.join_weight) as u64;
+            if total > 0 {
+                let r = rng.gen_below(total) as u32;
+                let action = if r < spec.crash_weight {
+                    ChurnAction::Crash
+                } else if r < spec.crash_weight + spec.leave_weight {
+                    ChurnAction::Leave
+                } else {
+                    ChurnAction::Join
+                };
+                match action {
+                    ChurnAction::Crash | ChurnAction::Leave => {
+                        let candidates: Vec<NodeRef> = live_peers(s)
+                            .into_iter()
+                            .filter(|p| !inner.protected.contains(&p.addr))
+                            .collect();
+                        if live_peers(s).len() > spec.min_alive && !candidates.is_empty() {
+                            let victim = *rng.pick(&candidates);
+                            if action == ChurnAction::Crash {
+                                s.crash(victim.addr);
+                                s.metrics_mut().incr("churn.crashes");
+                            } else {
+                                s.send_external(victim.addr, Payload::Cmd(UserCmd::Leave));
+                                s.metrics_mut().incr("churn.leaves");
+                            }
+                        }
+                    }
+                    ChurnAction::Join => {
+                        let name = format!("churn-joiner-{counter}");
+                        join_now(s, &name, &inner.cfg);
+                    }
+                }
+            }
+            let gap = Duration::from_micros(
+                rng.exp_mean(inner.spec.mean_interval.as_micros() as f64).max(1.0) as u64,
+            );
+            let next = s.now() + gap;
+            schedule_churn_step(s, next, inner, rng, counter + 1);
+        }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2p_ltr::harness::LtrNet;
+    use simnet::NetConfig;
+
+    #[test]
+    fn scripted_crash_and_join_fire() {
+        let mut net = LtrNet::build(
+            21,
+            NetConfig::lan(),
+            6,
+            LtrConfig::default(),
+            Duration::from_millis(100),
+        );
+        net.settle(10);
+        let victim = net.peers[3];
+        let t_crash = net.now() + Duration::from_secs(1);
+        let t_join = net.now() + Duration::from_secs(2);
+        schedule_crash(&mut net.sim, t_crash, victim);
+        schedule_join(&mut net.sim, t_join, "fresh".into(), LtrConfig::default());
+        net.settle(10);
+        assert_eq!(net.sim.node_state(victim.addr), NodeState::Crashed);
+        assert_eq!(net.sim.metrics().counter("churn.crashes"), 1);
+        assert_eq!(net.sim.metrics().counter("churn.joins"), 1);
+        assert_eq!(net.alive_peers().len(), 6); // 6 - 1 + 1
+    }
+
+    #[test]
+    fn random_churn_respects_min_alive_and_protection() {
+        let mut net = LtrNet::build(
+            22,
+            NetConfig::lan(),
+            8,
+            LtrConfig::default(),
+            Duration::from_millis(100),
+        );
+        net.settle(10);
+        let protected = vec![net.peers[0], net.peers[1]];
+        let horizon = net.now() + Duration::from_secs(30);
+        let spec = ChurnSpec {
+            mean_interval: Duration::from_millis(300),
+            crash_weight: 2,
+            leave_weight: 1,
+            join_weight: 0,
+            protected: protected.clone(),
+            min_alive: 4,
+            horizon,
+        };
+        drive_churn(&mut net.sim, spec, LtrConfig::default(), 5);
+        net.settle(40);
+        let alive = net.alive_peers();
+        assert!(alive.len() >= 4, "min_alive violated: {}", alive.len());
+        for p in &protected {
+            assert_eq!(net.sim.node_state(p.addr), NodeState::Up, "protected peer removed");
+        }
+        assert!(
+            net.sim.metrics().counter("churn.crashes")
+                + net.sim.metrics().counter("churn.leaves")
+                > 0
+        );
+    }
+}

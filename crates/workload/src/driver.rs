@@ -1,0 +1,135 @@
+//! Self-scheduling workload drivers: editors that wake up on exponential
+//! think times, pick a document by Zipf popularity, mutate it, and save.
+
+use std::sync::Arc;
+
+use p2p_ltr::{LtrNode, Payload, UserCmd};
+use simnet::{Duration, NodeState, Rng64, Sim, Time, Zipf};
+
+use chord::NodeRef;
+
+use crate::editors::{mutate_text, EditMix};
+
+/// Parameters of an editing population.
+#[derive(Clone, Debug)]
+pub struct EditorSpec {
+    /// Documents edited (must be open at the editing peers).
+    pub docs: Vec<String>,
+    /// Zipf skew for document choice (0.0 = uniform).
+    pub zipf_skew: f64,
+    /// Mean think time between saves per editor (exponential).
+    pub mean_think: Duration,
+    /// Edit kind mix.
+    pub mix: EditMix,
+    /// Stop scheduling new edits at this simulated time.
+    pub horizon: Time,
+}
+
+struct SpecInner {
+    docs: Vec<String>,
+    zipf: Zipf,
+    mean_think_us: f64,
+    mix: EditMix,
+    horizon: Time,
+}
+
+/// Attach an editor loop to each of `peers`. Each editor gets its own
+/// deterministic RNG stream derived from `seed`.
+pub fn drive_editors(sim: &mut Sim<Payload>, peers: &[NodeRef], spec: &EditorSpec, seed: u64) {
+    let inner = Arc::new(SpecInner {
+        docs: spec.docs.clone(),
+        zipf: Zipf::new(spec.docs.len(), spec.zipf_skew),
+        mean_think_us: spec.mean_think.as_micros() as f64,
+        mix: spec.mix.clone(),
+        horizon: spec.horizon,
+    });
+    let mut seeder = Rng64::new(seed);
+    for &peer in peers {
+        let rng = seeder.fork();
+        let first = sim.now() + Duration::from_micros(seeder.gen_below(spec.mean_think.as_micros().max(1)));
+        schedule_step(sim, first, peer, Arc::clone(&inner), rng, 0);
+    }
+}
+
+fn schedule_step(
+    sim: &mut Sim<Payload>,
+    at: Time,
+    peer: NodeRef,
+    spec: Arc<SpecInner>,
+    mut rng: Rng64,
+    counter: u64,
+) {
+    if at > spec.horizon {
+        return;
+    }
+    let at = at.max(sim.now());
+    sim.schedule_at(
+        at,
+        Box::new(move |s: &mut Sim<Payload>| {
+            if s.node_state(peer.addr) == NodeState::Up {
+                let doc = spec.docs[spec.zipf.sample(&mut rng)].clone();
+                let edit = s.node_as::<LtrNode>(peer.addr).and_then(|node| {
+                    if node.is_busy(&doc) {
+                        None // skip this beat; edit next time
+                    } else {
+                        node.doc_text(&doc).map(|text| {
+                            let kind = spec.mix.sample(&mut rng);
+                            mutate_text(&text, kind, node.site(), counter, &mut rng)
+                        })
+                    }
+                });
+                if let Some(new_text) = edit {
+                    s.send_external(
+                        peer.addr,
+                        Payload::Cmd(UserCmd::Edit {
+                            doc,
+                            new_text,
+                        }),
+                    );
+                    s.metrics_mut().incr("workload.edits_issued");
+                }
+            }
+            let gap = Duration::from_micros(rng.exp_mean(spec.mean_think_us).max(1.0) as u64);
+            let next = s.now() + gap;
+            schedule_step(s, next, peer, spec, rng, counter + 1);
+        }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2p_ltr::harness::LtrNet;
+    use p2p_ltr::LtrConfig;
+    use simnet::NetConfig;
+
+    #[test]
+    fn editors_issue_edits_until_horizon() {
+        let mut net = LtrNet::build(
+            11,
+            NetConfig::lan(),
+            6,
+            LtrConfig::default(),
+            Duration::from_millis(100),
+        );
+        net.settle(15);
+        let peers = net.peers.clone();
+        net.open_doc(&peers, "doc", "seed");
+        net.settle(1);
+        let spec = EditorSpec {
+            docs: vec!["doc".into()],
+            zipf_skew: 0.0,
+            mean_think: Duration::from_millis(500),
+            mix: EditMix::default(),
+            horizon: net.now() + Duration::from_secs(5),
+        };
+        drive_editors(&mut net.sim, &peers[..2], &spec, 7);
+        net.settle(10);
+        let issued = net.sim.metrics().counter("workload.edits_issued");
+        assert!(issued > 5, "only {issued} edits issued");
+        // No edits after the horizon.
+        let at_horizon = issued;
+        net.settle(5);
+        assert_eq!(net.sim.metrics().counter("workload.edits_issued"), at_horizon);
+    }
+}

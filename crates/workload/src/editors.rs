@@ -1,0 +1,140 @@
+//! Editor models: synthetic users that read their replica, make a small
+//! line edit, and save — the workload of a P2P wiki.
+
+use ot::Document;
+use simnet::Rng64;
+
+/// One synthetic line edit applied to a text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EditKind {
+    /// Insert a fresh line at a random position.
+    InsertLine,
+    /// Delete a random line (no-op on an empty document).
+    DeleteLine,
+    /// Replace a random line (delete + insert).
+    ChangeLine,
+}
+
+/// Weighted edit-kind chooser.
+#[derive(Clone, Debug)]
+pub struct EditMix {
+    /// Relative weight of inserts.
+    pub insert: u32,
+    /// Relative weight of deletes.
+    pub delete: u32,
+    /// Relative weight of line changes.
+    pub change: u32,
+}
+
+impl Default for EditMix {
+    fn default() -> Self {
+        // Wiki-like: mostly additions and rewordings.
+        EditMix {
+            insert: 5,
+            delete: 1,
+            change: 4,
+        }
+    }
+}
+
+impl EditMix {
+    /// Sample an edit kind.
+    pub fn sample(&self, rng: &mut Rng64) -> EditKind {
+        let total = (self.insert + self.delete + self.change) as u64;
+        let r = rng.gen_below(total) as u32;
+        if r < self.insert {
+            EditKind::InsertLine
+        } else if r < self.insert + self.delete {
+            EditKind::DeleteLine
+        } else {
+            EditKind::ChangeLine
+        }
+    }
+}
+
+/// Apply one synthetic edit to `text`, returning the new full text. The
+/// `author` tag makes every inserted line unique and attributable, so
+/// convergence checks can also verify no edit was lost.
+pub fn mutate_text(
+    text: &str,
+    kind: EditKind,
+    author: u64,
+    edit_counter: u64,
+    rng: &mut Rng64,
+) -> String {
+    let doc = Document::from_text(text);
+    let mut lines: Vec<String> = doc.lines().to_vec();
+    match kind {
+        EditKind::InsertLine => {
+            let pos = rng.index(lines.len() + 1);
+            lines.insert(pos, format!("u{author}-e{edit_counter}"));
+        }
+        EditKind::DeleteLine => {
+            if !lines.is_empty() {
+                let pos = rng.index(lines.len());
+                lines.remove(pos);
+            } else {
+                lines.push(format!("u{author}-e{edit_counter}"));
+            }
+        }
+        EditKind::ChangeLine => {
+            if lines.is_empty() {
+                lines.push(format!("u{author}-e{edit_counter}"));
+            } else {
+                let pos = rng.index(lines.len());
+                lines[pos] = format!("u{author}-e{edit_counter}");
+            }
+        }
+    }
+    lines.join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_sampling_covers_all_kinds() {
+        let mix = EditMix::default();
+        let mut rng = Rng64::new(1);
+        let mut seen = [false; 3];
+        for _ in 0..500 {
+            match mix.sample(&mut rng) {
+                EditKind::InsertLine => seen[0] = true,
+                EditKind::DeleteLine => seen[1] = true,
+                EditKind::ChangeLine => seen[2] = true,
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn mutate_insert_grows() {
+        let mut rng = Rng64::new(2);
+        let out = mutate_text("a\nb", EditKind::InsertLine, 7, 3, &mut rng);
+        assert_eq!(out.lines().count(), 3);
+        assert!(out.contains("u7-e3"));
+    }
+
+    #[test]
+    fn mutate_delete_shrinks() {
+        let mut rng = Rng64::new(3);
+        let out = mutate_text("a\nb\nc", EditKind::DeleteLine, 1, 1, &mut rng);
+        assert_eq!(out.lines().count(), 2);
+    }
+
+    #[test]
+    fn mutate_delete_on_empty_inserts() {
+        let mut rng = Rng64::new(4);
+        let out = mutate_text("", EditKind::DeleteLine, 1, 1, &mut rng);
+        assert_eq!(out, "u1-e1");
+    }
+
+    #[test]
+    fn mutate_change_keeps_length() {
+        let mut rng = Rng64::new(5);
+        let out = mutate_text("a\nb\nc", EditKind::ChangeLine, 2, 9, &mut rng);
+        assert_eq!(out.lines().count(), 3);
+        assert!(out.contains("u2-e9"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Side-by-side with the single-node reconciler the paper argues against:
+//! same editors, same documents — then the coordinator (resp. one master)
+//! crashes. The baseline stops dead; P2P-LTR keeps going.
+//!
+//! Run: `cargo run -p ltr-examples --release --bin baseline_vs_ltr`
+
+use p2p_ltr::baseline::{BaseCmd, BaseMsg, BaselineUser, Coordinator};
+use p2p_ltr::harness::LtrNet;
+use p2p_ltr::LtrConfig;
+use simnet::{Duration, NetConfig, Sim};
+
+const DOC: &str = "doc";
+const USERS: usize = 4;
+
+fn main() {
+    // ---- centralized run -------------------------------------------------
+    let mut sim: Sim<BaseMsg> = Sim::new(1, NetConfig::lan());
+    let coord = sim.add_node(Coordinator::new(Duration::from_millis(1)));
+    let users: Vec<_> = (0..USERS)
+        .map(|i| {
+            sim.add_node(BaselineUser::new(
+                i as u64 + 1,
+                coord,
+                Duration::from_millis(500),
+                Some(Duration::from_secs(1)),
+            ))
+        })
+        .collect();
+    for &u in &users {
+        sim.send_external(
+            u,
+            BaseMsg::Cmd(BaseCmd::OpenDoc {
+                doc: DOC.into(),
+                initial: "start".into(),
+            }),
+        );
+    }
+    sim.run_for(Duration::from_millis(100));
+    for (i, &u) in users.iter().enumerate() {
+        sim.send_external(
+            u,
+            BaseMsg::Cmd(BaseCmd::Edit {
+                doc: DOC.into(),
+                new_text: format!("start\nuser-{i}"),
+            }),
+        );
+    }
+    sim.run_for(Duration::from_secs(10));
+    let before = sim.metrics().counter("base.grants");
+    println!("[centralized] {before} patches validated in 10s");
+
+    println!("[centralized] *** coordinator crashes ***");
+    sim.crash(coord);
+    for (i, &u) in users.iter().enumerate() {
+        sim.send_external(
+            u,
+            BaseMsg::Cmd(BaseCmd::Edit {
+                doc: DOC.into(),
+                new_text: format!("start\nuser-{i}\nmore"),
+            }),
+        );
+    }
+    sim.run_for(Duration::from_secs(10));
+    let after = sim.metrics().counter("base.grants") - before;
+    println!(
+        "[centralized] {after} patches validated in the 10s after the crash \
+         ({} timeouts) — the system is dead\n",
+        sim.metrics().counter("base.validate_timeout")
+    );
+
+    // ---- P2P-LTR run -----------------------------------------------------
+    let mut net = LtrNet::build(
+        2,
+        NetConfig::lan(),
+        12,
+        LtrConfig::default(),
+        Duration::from_millis(150),
+    );
+    net.settle(25);
+    let peers = net.peers.clone();
+    net.open_doc(&peers, DOC, "start");
+    net.settle(1);
+    for (i, &peer) in peers.iter().enumerate().take(USERS) {
+        let cur = net.node(peer).doc_text(DOC).unwrap();
+        net.edit(peer, DOC, &format!("{cur}\nuser-{i}"));
+        net.run_until_quiet(&[DOC], 60);
+    }
+    let before = net.sim.metrics().counter("kts.grants");
+    println!("[p2p-ltr] {before} patches validated");
+
+    let master = net.master_of(DOC);
+    println!("[p2p-ltr] *** master {} crashes ***", master.addr);
+    net.crash(master);
+    net.settle(10);
+    for i in 0..USERS {
+        let editor = peers[(i + USERS) % peers.len()];
+        if editor.addr == master.addr {
+            continue;
+        }
+        let cur = net.node(editor).doc_text(DOC).unwrap();
+        net.edit(editor, DOC, &format!("{cur}\npost-crash-{i}"));
+        net.run_until_quiet(&[DOC], 90);
+    }
+    let after = net.sim.metrics().counter("kts.grants") - before;
+    let cont = p2p_ltr::check_continuity(&net.sim);
+    println!(
+        "[p2p-ltr] {after} patches validated after the crash — \
+         continuity {} (the successor took over)",
+        if cont.is_clean() { "intact" } else { "BROKEN" }
+    );
+    assert!(after > 0 && cont.is_clean());
+    println!("\nbaseline vs P2P-LTR OK: the paper's availability argument reproduced");
+}

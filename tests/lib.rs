@@ -1,0 +1,32 @@
+//! Shared helpers for the workspace-level integration tests.
+
+use p2p_ltr::harness::LtrNet;
+use p2p_ltr::LtrConfig;
+use simnet::{Duration, NetConfig};
+
+/// Build a network over the given net model and let it stabilize.
+pub fn stabilized(seed: u64, net_cfg: NetConfig, peers: usize, cfg: LtrConfig) -> LtrNet {
+    let mut net = LtrNet::build(seed, net_cfg, peers, cfg, Duration::from_millis(150));
+    net.settle(20 + peers as u64 / 4);
+    net
+}
+
+/// Assert the three correctness oracles all pass, with readable diagnostics.
+pub fn assert_invariants(net: &LtrNet) {
+    let cont = p2p_ltr::check_continuity(&net.sim);
+    assert!(
+        cont.is_clean(),
+        "continuity violated: dups={:?} gaps={:?}",
+        cont.duplicates,
+        cont.gaps
+    );
+    let order = p2p_ltr::check_total_order(&net.sim);
+    assert!(order.is_clean(), "total order violated: {:?}", order.violations);
+    let conv = p2p_ltr::check_convergence(&net.sim);
+    assert!(
+        conv.is_converged(),
+        "diverged: busy={} variants={:?}",
+        conv.busy_replicas,
+        conv.variants
+    );
+}
