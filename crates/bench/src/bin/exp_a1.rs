@@ -6,7 +6,7 @@
 //! fraction of the network, and measures whether a fresh reader can still
 //! retrieve the full history — with each mechanism on/off.
 //!
-//! Run: `cargo run -p ltr-bench --release --bin exp_a1`
+//! Run: `cargo run -p ltr_bench --release --bin exp_a1`
 
 use ltr_bench::{ok, print_table, settled_net};
 use p2p_ltr::{LtrConfig, LtrEventKind};
@@ -73,10 +73,26 @@ fn run(cfg_desc: &Config, crash_frac: f64, seed: u64) -> (bool, u64, u64) {
 
 fn main() {
     let configs = [
-        Config { name: "n=1, no succ replicas", hr_n: 1, succ_replicas: 0 },
-        Config { name: "n=3, no succ replicas", hr_n: 3, succ_replicas: 0 },
-        Config { name: "n=1, 2 succ replicas", hr_n: 1, succ_replicas: 2 },
-        Config { name: "n=3, 2 succ replicas (paper)", hr_n: 3, succ_replicas: 2 },
+        Config {
+            name: "n=1, no succ replicas",
+            hr_n: 1,
+            succ_replicas: 0,
+        },
+        Config {
+            name: "n=3, no succ replicas",
+            hr_n: 3,
+            succ_replicas: 0,
+        },
+        Config {
+            name: "n=1, 2 succ replicas",
+            hr_n: 1,
+            succ_replicas: 2,
+        },
+        Config {
+            name: "n=3, 2 succ replicas (paper)",
+            hr_n: 3,
+            succ_replicas: 2,
+        },
     ];
     let fractions = [0.0f64, 0.15, 0.3];
     let mut rows = Vec::new();
@@ -93,8 +109,15 @@ fn main() {
         }
     }
     print_table(
-        &format!("A1: full-history retrieval ({PATCHES} patches) after crashing a fraction of 20 peers"),
-        &["mechanisms", "crashed", "full history retrieved", "replica-hash fallbacks"],
+        &format!(
+            "A1: full-history retrieval ({PATCHES} patches) after crashing a fraction of 20 peers"
+        ),
+        &[
+            "mechanisms",
+            "crashed",
+            "full history retrieved",
+            "replica-hash fallbacks",
+        ],
         &rows,
     );
     println!(

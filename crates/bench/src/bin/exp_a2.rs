@@ -5,7 +5,7 @@
 //! publish latency per policy and then tests durability: after targeted
 //! crashes, can a fresh reader still retrieve the full history?
 //!
-//! Run: `cargo run -p ltr-bench --release --bin exp_a2`
+//! Run: `cargo run -p ltr_bench --release --bin exp_a2`
 
 use ltr_bench::{fmt_latency, ok, print_table, settled_net};
 use p2p_ltr::LtrConfig;

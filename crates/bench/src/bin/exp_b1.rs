@@ -11,13 +11,13 @@
 //!    crashes — the baseline stops globally, P2P-LTR recovers after
 //!    takeover and only for the affected keys.
 //!
-//! Run: `cargo run -p ltr-bench --release --bin exp_b1`
+//! Run: `cargo run -p ltr_bench --release --bin exp_b1`
 
 use ltr_bench::{fmt_latency, print_table, settled_net};
 use p2p_ltr::baseline::{BaseCmd, BaseMsg, BaselineUser, Coordinator};
 use p2p_ltr::{check_continuity, LtrConfig};
-use workload::{drive_editors, mutate_text, EditMix, EditorSpec};
 use simnet::{Duration, NetConfig, NodeId, NodeState, Rng64, Sim, Time, Zipf};
+use workload::{drive_editors, mutate_text, EditMix, EditorSpec};
 
 const EDITORS: usize = 12;
 const RUN_SECS: u64 = 25;
@@ -39,7 +39,17 @@ fn drive_base_editors(
     for (i, &u) in users.iter().enumerate() {
         let rng = seeder.fork();
         let docs = docs.to_vec();
-        schedule_base_step(sim, sim.now() + mean_think / 2, u, i as u64 + 1, docs, mean_think, horizon, rng, 0);
+        schedule_base_step(
+            sim,
+            sim.now() + mean_think / 2,
+            u,
+            i as u64 + 1,
+            docs,
+            mean_think,
+            horizon,
+            rng,
+            0,
+        );
     }
 }
 
@@ -80,9 +90,20 @@ fn schedule_base_step(
                     s.metrics_mut().incr("workload.edits_issued");
                 }
             }
-            let gap = Duration::from_micros(rng.exp_mean(mean_think.as_micros() as f64).max(1.0) as u64);
+            let gap =
+                Duration::from_micros(rng.exp_mean(mean_think.as_micros() as f64).max(1.0) as u64);
             let next = s.now() + gap;
-            schedule_base_step(s, next, user, site, docs, mean_think, horizon, rng, counter + 1);
+            schedule_base_step(
+                s,
+                next,
+                user,
+                site,
+                docs,
+                mean_think,
+                horizon,
+                rng,
+                counter + 1,
+            );
         }),
     );
 }
@@ -114,7 +135,14 @@ fn run_baseline(docs_n: usize, seed: u64, crash_coord_at: Option<u64>) -> (u64, 
     }
     sim.run_for(Duration::from_millis(200));
     let horizon = sim.now() + Duration::from_secs(RUN_SECS);
-    drive_base_editors(&mut sim, &users, &docs, Duration::from_millis(400), horizon, seed ^ 0x11);
+    drive_base_editors(
+        &mut sim,
+        &users,
+        &docs,
+        Duration::from_millis(400),
+        horizon,
+        seed ^ 0x11,
+    );
     if let Some(t) = crash_coord_at {
         let at = sim.now() + Duration::from_secs(t);
         sim.schedule_at(at, Box::new(move |s: &mut Sim<BaseMsg>| s.crash(coord)));

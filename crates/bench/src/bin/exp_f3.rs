@@ -6,7 +6,7 @@
 //! This binary regenerates that view as a dashboard table after a short
 //! editing session.
 //!
-//! Run: `cargo run -p ltr-bench --release --bin exp_f3`
+//! Run: `cargo run -p ltr_bench --release --bin exp_f3`
 
 use ltr_bench::{print_invariants, print_table, settled_net};
 use p2p_ltr::report::{network_report, summarize};

@@ -5,12 +5,12 @@
 //! responsible for timestamping a subset of the documents", and reproduces
 //! Figure 4's per-master view of keys and valid timestamps.
 //!
-//! Run: `cargo run -p ltr-bench --release --bin exp_f4`
+//! Run: `cargo run -p ltr_bench --release --bin exp_f4`
 
 use ltr_bench::{print_invariants, print_table, settled_net};
-use workload::{drive_editors, EditMix, EditorSpec};
 use p2p_ltr::LtrConfig;
 use simnet::{Duration, NetConfig};
+use workload::{drive_editors, EditMix, EditorSpec};
 
 fn main() {
     let peers_n = 32;
@@ -71,7 +71,14 @@ fn main() {
     rows.sort_by(|a, b| b[2].parse::<usize>().unwrap().cmp(&a[2].parse().unwrap()));
     print_table(
         "F4: Master-key responsibility per peer (Figure 4)",
-        &["peer", "ring id", "keys mastered", "grants", "succ backups", "sample last-ts"],
+        &[
+            "peer",
+            "ring id",
+            "keys mastered",
+            "grants",
+            "succ backups",
+            "sample last-ts",
+        ],
         &rows,
     );
 

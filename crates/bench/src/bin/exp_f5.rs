@@ -5,12 +5,12 @@
 //! updaters, it retrieves continuous timestamp patches" (Figure 5) and that
 //! eventual consistency is assured.
 //!
-//! Run: `cargo run -p ltr-bench --release --bin exp_f5`
+//! Run: `cargo run -p ltr_bench --release --bin exp_f5`
 
 use ltr_bench::{ok, print_invariants, print_table, settled_net};
-use workload::{drive_editors, EditMix, EditorSpec};
 use p2p_ltr::{LtrConfig, LtrEventKind};
 use simnet::{Duration, NetConfig};
+use workload::{drive_editors, EditMix, EditorSpec};
 
 const DOC: &str = "wiki/Main";
 
@@ -66,7 +66,10 @@ fn main() {
         }
     }
     print_table(
-        &format!("F5: patches retrieved by late reader {} (Figure 5)", late_reader.addr),
+        &format!(
+            "F5: patches retrieved by late reader {} (Figure 5)",
+            late_reader.addr
+        ),
         &["sim time", "timestamp", "origin"],
         &rows,
     );

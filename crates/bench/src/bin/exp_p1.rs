@@ -6,12 +6,12 @@
 //! ack) and its components as the DHT grows: routing hops grow O(log N), so
 //! response time should too.
 //!
-//! Run: `cargo run -p ltr-bench --release --bin exp_p1`
+//! Run: `cargo run -p ltr_bench --release --bin exp_p1`
 
 use ltr_bench::{fmt_latency, ok, print_table, settled_net};
-use workload::{drive_editors, EditMix, EditorSpec};
 use p2p_ltr::{check_continuity, check_convergence, LtrConfig};
 use simnet::{Duration, NetConfig};
+use workload::{drive_editors, EditMix, EditorSpec};
 
 fn main() {
     let sizes = [8usize, 16, 32, 64, 128];

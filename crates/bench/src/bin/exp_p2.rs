@@ -10,12 +10,12 @@
 //! 2. the network latency model (LAN vs. two WAN settings) — response time
 //!    is dominated by the lookup + validate + publish round-trips.
 //!
-//! Run: `cargo run -p ltr-bench --release --bin exp_p2`
+//! Run: `cargo run -p ltr_bench --release --bin exp_p2`
 
 use ltr_bench::{fmt_latency, ok, print_table, settled_net};
-use workload::{drive_editors, EditMix, EditorSpec};
 use p2p_ltr::{check_continuity, LtrConfig};
 use simnet::{Duration, LatencyModel, NetConfig};
+use workload::{drive_editors, EditMix, EditorSpec};
 
 fn run_one(seed: u64, net_cfg: NetConfig, cfg: LtrConfig) -> Vec<String> {
     let replication = cfg.log.replication;
@@ -65,7 +65,13 @@ fn main() {
     }
     print_table(
         "P2a: publish latency vs. log replication degree n = |Hr| (LAN, all-ack)",
-        &["n", "grants", "publishes", "publish ms (mean/p95/p99)", "continuity"],
+        &[
+            "n",
+            "grants",
+            "publishes",
+            "publish ms (mean/p95/p99)",
+            "continuity",
+        ],
         &rows,
     );
 

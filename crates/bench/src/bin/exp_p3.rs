@@ -5,12 +5,12 @@
 //! sweep raises the churn rate (random joins, graceful leaves and crashes)
 //! while editors keep publishing, and reports correctness and cost.
 //!
-//! Run: `cargo run -p ltr-bench --release --bin exp_p3`
+//! Run: `cargo run -p ltr_bench --release --bin exp_p3`
 
 use ltr_bench::{fmt_latency, ok, print_table, settled_net};
-use workload::{drive_churn, drive_editors, ChurnSpec, EditMix, EditorSpec};
 use p2p_ltr::{check_continuity, check_convergence, check_total_order, LtrConfig};
 use simnet::{Duration, NetConfig};
+use workload::{drive_churn, drive_editors, ChurnSpec, EditMix, EditorSpec};
 
 fn main() {
     // churn mean interval; None = no churn.

@@ -6,12 +6,12 @@
 //! This experiment scripts both, measures the takeover, and checks the
 //! continuity invariant held throughout.
 //!
-//! Run: `cargo run -p ltr-bench --release --bin exp_s3`
+//! Run: `cargo run -p ltr_bench --release --bin exp_s3`
 
 use ltr_bench::{fmt_latency, ok, print_table, settled_net};
-use workload::{drive_editors, EditMix, EditorSpec};
 use p2p_ltr::{check_continuity, check_convergence, LtrConfig};
 use simnet::{Duration, NetConfig, Time};
+use workload::{drive_editors, EditMix, EditorSpec};
 
 const DOC: &str = "wiki/Main";
 

@@ -5,7 +5,7 @@
 //! without violating eventual consistency". We craft a joiner whose ring id
 //! splits the document's arc so it deterministically takes the key over.
 //!
-//! Run: `cargo run -p ltr-bench --release --bin exp_s4`
+//! Run: `cargo run -p ltr_bench --release --bin exp_s4`
 
 use ltr_bench::{ok, print_invariants, print_table, settled_net};
 use p2p_ltr::{check_continuity, LtrConfig};

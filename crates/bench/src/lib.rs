@@ -1,5 +1,6 @@
 //! Shared helpers for the experiment binaries (one per paper
-//! figure/scenario — see EXPERIMENTS.md for the index).
+//! figure/scenario — see `EXPERIMENTS.md` at the workspace root for the
+//! index mapping each `exp_*` binary to its paper figure).
 
 use p2p_ltr::harness::LtrNet;
 use p2p_ltr::LtrConfig;

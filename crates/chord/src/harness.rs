@@ -1,7 +1,7 @@
 //! A ready-made embedding of [`ChordNode`] into the simulator, for
 //! chord-only tests, benchmarks and examples.
 //!
-//! The production embedding lives in the `p2p-ltr` crate (which multiplexes
+//! The production embedding lives in the `p2p_ltr` crate (which multiplexes
 //! Chord with the timestamping and log layers); this driver speaks a small
 //! wrapper message type so external test code can inject client commands
 //! with [`simnet::Sim::send_external`].
@@ -114,8 +114,11 @@ impl ChordDriver {
                             });
                         }
                         ChordEvent::PutDone { op, ok, .. } => {
-                            ctx.metrics()
-                                .incr(if *ok { "chord.puts_ok" } else { "chord.puts_failed" });
+                            ctx.metrics().incr(if *ok {
+                                "chord.puts_ok"
+                            } else {
+                                "chord.puts_failed"
+                            });
                             self.completions.push(Completion {
                                 op: *op,
                                 at: now,
@@ -123,8 +126,11 @@ impl ChordDriver {
                             });
                         }
                         ChordEvent::GetDone { op, ok, .. } => {
-                            ctx.metrics()
-                                .incr(if *ok { "chord.gets_ok" } else { "chord.gets_failed" });
+                            ctx.metrics().incr(if *ok {
+                                "chord.gets_ok"
+                            } else {
+                                "chord.gets_failed"
+                            });
                             self.completions.push(Completion {
                                 op: *op,
                                 at: now,

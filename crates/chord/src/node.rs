@@ -275,8 +275,7 @@ impl ChordNode {
         self.succs.retain(|s| s.id != self.me.id && s.id != cand.id);
         self.succs.push(cand);
         let me = self.me.id;
-        self.succs
-            .sort_by_key(|s| me.distance_to(s.id));
+        self.succs.sort_by_key(|s| me.distance_to(s.id));
         self.succs.truncate(self.cfg.succ_list_len);
     }
 
@@ -325,7 +324,12 @@ impl ChordNode {
         }
         if let Some(p) = self.pred {
             if p.id != self.me.id && succ.id != self.me.id {
-                self.send(p.addr, ChordMsg::LeaveToPred { succ_of_leaver: succ });
+                self.send(
+                    p.addr,
+                    ChordMsg::LeaveToPred {
+                        succ_of_leaver: succ,
+                    },
+                );
             }
         }
         self.joined = false;
@@ -345,13 +349,7 @@ impl ChordNode {
 
     /// Store `value` under `key` at the responsible node (k-replicated by
     /// its successors). Completion via [`ChordEvent::PutDone`].
-    pub fn put(
-        &mut self,
-        now: Time,
-        key: Id,
-        value: Bytes,
-        mode: PutMode,
-    ) -> (OpId, Vec<Action>) {
+    pub fn put(&mut self, now: Time, key: Id, value: Bytes, mode: PutMode) -> (OpId, Vec<Action>) {
         let op = self.new_op(OpKind::Put {
             key,
             value,
@@ -388,7 +386,14 @@ impl ChordNode {
             ChordMsg::GetPredecessor { op } => {
                 let pred = self.pred;
                 let succ_list = self.succs.clone();
-                self.send(from, ChordMsg::PredecessorIs { op, pred, succ_list });
+                self.send(
+                    from,
+                    ChordMsg::PredecessorIs {
+                        op,
+                        pred,
+                        succ_list,
+                    },
+                );
             }
             ChordMsg::PredecessorIs {
                 op,

@@ -18,7 +18,13 @@ pub type Digest = [u8; DIGEST_LEN];
 
 /// Compute the SHA-1 digest of `data`.
 pub fn sha1(data: &[u8]) -> Digest {
-    let mut h: [u32; 5] = [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0];
+    let mut h: [u32; 5] = [
+        0x6745_2301,
+        0xEFCD_AB89,
+        0x98BA_DCFE,
+        0x1032_5476,
+        0xC3D2_E1F0,
+    ];
 
     // Message padding: 0x80, zeros, 64-bit big-endian bit length.
     let bit_len = (data.len() as u64).wrapping_mul(8);
@@ -90,7 +96,10 @@ mod tests {
     // Official FIPS 180-1 / RFC 3174 test vectors.
     #[test]
     fn vector_abc() {
-        assert_eq!(hex(&sha1(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            hex(&sha1(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
     }
 
     #[test]
@@ -101,7 +110,9 @@ mod tests {
     #[test]
     fn vector_448_bits() {
         assert_eq!(
-            hex(&sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hex(&sha1(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
         );
     }
@@ -109,7 +120,10 @@ mod tests {
     #[test]
     fn vector_million_a() {
         let data = vec![b'a'; 1_000_000];
-        assert_eq!(hex(&sha1(&data)), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+        assert_eq!(
+            hex(&sha1(&data)),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
     }
 
     #[test]

@@ -17,7 +17,10 @@ use simnet::{NodeId, Time};
 impl ChordNode {
     /// Periodic stabilize round: verify the successor pointer and notify.
     pub(crate) fn tick_stabilize(&mut self, now: Time) {
-        self.arm(self.cfg.stabilize_every, crate::events::ChordTimer::Stabilize);
+        self.arm(
+            self.cfg.stabilize_every,
+            crate::events::ChordTimer::Stabilize,
+        );
         if !self.joined {
             return;
         }

@@ -21,7 +21,10 @@ pub struct Storage {
 /// Extract the keys of `map` lying in the clockwise arc `(from, to]`,
 /// handling wrap-around.
 fn keys_in_range(map: &BTreeMap<Id, Bytes>, from: Id, to: Id) -> Vec<Id> {
-    map.keys().copied().filter(|k| k.in_half_open(from, to)).collect()
+    map.keys()
+        .copied()
+        .filter(|k| k.in_half_open(from, to))
+        .collect()
 }
 
 impl Storage {

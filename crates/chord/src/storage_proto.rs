@@ -37,17 +37,8 @@ impl ChordNode {
     }
 
     /// Our earlier `Put` was answered.
-    pub(crate) fn on_put_ack(
-        &mut self,
-        now: Time,
-        op: OpId,
-        ok: bool,
-        existing: Option<Bytes>,
-    ) {
-        let is_put = matches!(
-            self.ops.get(&op).map(|s| &s.kind),
-            Some(OpKind::Put { .. })
-        );
+    pub(crate) fn on_put_ack(&mut self, now: Time, op: OpId, ok: bool, existing: Option<Bytes>) {
+        let is_put = matches!(self.ops.get(&op).map(|s| &s.kind), Some(OpKind::Put { .. }));
         if !is_put {
             return; // late duplicate
         }
@@ -95,10 +86,7 @@ impl ChordNode {
         value: Option<Bytes>,
         authoritative: bool,
     ) {
-        let is_get = matches!(
-            self.ops.get(&op).map(|s| &s.kind),
-            Some(OpKind::Get { .. })
-        );
+        let is_get = matches!(self.ops.get(&op).map(|s| &s.kind), Some(OpKind::Get { .. }));
         if !is_get {
             return;
         }

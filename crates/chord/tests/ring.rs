@@ -118,11 +118,7 @@ fn lookups_match_sorted_ring_oracle() {
     for &key in &keys {
         sim.send_external(probe, DriverMsg::Cmd(Cmd::Lookup(key)));
     }
-    let before = sim
-        .node_as::<ChordDriver>(probe)
-        .unwrap()
-        .completions
-        .len();
+    let before = sim.node_as::<ChordDriver>(probe).unwrap().completions.len();
     let _ = before;
     settle(&mut sim, 10);
     let d = sim.node_as::<ChordDriver>(probe).unwrap();
@@ -218,12 +214,20 @@ fn first_writer_wins_reports_conflict() {
     let key = Id::hash(b"contested");
     sim.send_external(
         refs[0].addr,
-        DriverMsg::Cmd(Cmd::Put(key, Bytes::from_static(b"A"), PutMode::FirstWriter)),
+        DriverMsg::Cmd(Cmd::Put(
+            key,
+            Bytes::from_static(b"A"),
+            PutMode::FirstWriter,
+        )),
     );
     settle(&mut sim, 5);
     sim.send_external(
         refs[3].addr,
-        DriverMsg::Cmd(Cmd::Put(key, Bytes::from_static(b"B"), PutMode::FirstWriter)),
+        DriverMsg::Cmd(Cmd::Put(
+            key,
+            Bytes::from_static(b"B"),
+            PutMode::FirstWriter,
+        )),
     );
     settle(&mut sim, 5);
 
@@ -298,7 +302,12 @@ fn data_survives_owner_crash_via_replicas() {
         .collect();
     assert_eq!(gets.len(), keys.len());
     let missing = gets.iter().filter(|(v, _)| v.is_none()).count();
-    assert_eq!(missing, 0, "{missing} of {} keys lost after crash", keys.len());
+    assert_eq!(
+        missing,
+        0,
+        "{missing} of {} keys lost after crash",
+        keys.len()
+    );
 }
 
 #[test]
@@ -340,7 +349,10 @@ fn graceful_leave_hands_over_keys_and_relinks_ring() {
         })
         .collect();
     assert_eq!(gets.len(), keys.len());
-    assert!(gets.iter().all(|v| v.is_some()), "keys lost on graceful leave");
+    assert!(
+        gets.iter().all(|v| v.is_some()),
+        "keys lost on graceful leave"
+    );
 }
 
 #[test]

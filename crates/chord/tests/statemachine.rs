@@ -40,7 +40,7 @@ fn events(actions: &[Action]) -> Vec<&ChordEvent> {
 fn wired_node(me: NodeRef, pred: NodeRef, succ: NodeRef) -> ChordNode {
     let mut n = ChordNode::new(me, ChordConfig::default());
     let _ = n.start(t0(), None); // singleton join
-    // Wire the neighbourhood via protocol messages.
+                                 // Wire the neighbourhood via protocol messages.
     let _ = n.handle(t0(), pred.addr, ChordMsg::Notify { candidate: pred });
     let _ = n.handle(
         t0(),
@@ -72,9 +72,16 @@ fn notify_adopts_closer_predecessor_and_hands_off_keys() {
     let mut n = ChordNode::new(me, ChordConfig::default());
     let _ = n.start(t0(), None);
     // Store a key the closer predecessor will own.
-    n.storage_mut().put_primary(Id(500), Bytes::from_static(b"v"));
+    n.storage_mut()
+        .put_primary(Id(500), Bytes::from_static(b"v"));
 
-    let acts = n.handle(t0(), far_pred.addr, ChordMsg::Notify { candidate: far_pred });
+    let acts = n.handle(
+        t0(),
+        far_pred.addr,
+        ChordMsg::Notify {
+            candidate: far_pred,
+        },
+    );
     assert!(events(&acts)
         .iter()
         .any(|e| matches!(e, ChordEvent::PredecessorChanged { .. })));
@@ -83,7 +90,13 @@ fn notify_adopts_closer_predecessor_and_hands_off_keys() {
     // A closer candidate (in (100, 1000)) supersedes; keys in (100, 600]
     // move to it.
     let close_pred = nref(2, 600);
-    let acts = n.handle(t0(), close_pred.addr, ChordMsg::Notify { candidate: close_pred });
+    let acts = n.handle(
+        t0(),
+        close_pred.addr,
+        ChordMsg::Notify {
+            candidate: close_pred,
+        },
+    );
     assert_eq!(n.predecessor().unwrap().id, close_pred.id);
     let transferred = sends(&acts)
         .into_iter()
@@ -108,7 +121,11 @@ fn notify_ignores_farther_candidate() {
     let far = nref(2, 100);
     let _ = n.handle(t0(), close.addr, ChordMsg::Notify { candidate: close });
     let acts = n.handle(t0(), far.addr, ChordMsg::Notify { candidate: far });
-    assert_eq!(n.predecessor().unwrap().id, close.id, "kept the closer pred");
+    assert_eq!(
+        n.predecessor().unwrap().id,
+        close.id,
+        "kept the closer pred"
+    );
     assert!(events(&acts).is_empty());
 }
 
@@ -238,7 +255,8 @@ fn get_serves_replica_but_flags_non_authoritative() {
     let pred = nref(1, 400);
     let succ = nref(2, 2000);
     let mut n = wired_node(me, pred, succ);
-    n.storage_mut().put_replica(Id(3000), Bytes::from_static(b"r"));
+    n.storage_mut()
+        .put_replica(Id(3000), Bytes::from_static(b"r"));
     let origin = nref(9, 5555);
     let acts = n.handle(
         t0(),
@@ -270,11 +288,11 @@ fn graceful_leave_emits_both_goodbyes() {
     let pred = nref(1, 400);
     let succ = nref(2, 2000);
     let mut n = wired_node(me, pred, succ);
-    n.storage_mut().put_primary(Id(800), Bytes::from_static(b"v"));
+    n.storage_mut()
+        .put_primary(Id(800), Bytes::from_static(b"v"));
     let acts = n.leave(t0());
     let to_succ = sends(&acts).into_iter().any(|(to, m)| {
-        to == succ.addr
-            && matches!(m, ChordMsg::LeaveToSucc { items, .. } if items.len() == 1)
+        to == succ.addr && matches!(m, ChordMsg::LeaveToSucc { items, .. } if items.len() == 1)
     });
     let to_pred = sends(&acts).into_iter().any(|(to, m)| {
         to == pred.addr
@@ -319,10 +337,9 @@ fn pred_failure_detected_via_ping_timeout() {
         .expect("ping must have a timeout");
     // No pong arrives; the timeout fires.
     let acts = n.on_timer(Time::from_millis(1000), ChordTimer::OpTimeout(op));
-    assert!(events(&acts).iter().any(|e| matches!(
-        e,
-        ChordEvent::PredecessorChanged { new: None, .. }
-    )));
+    assert!(events(&acts)
+        .iter()
+        .any(|e| matches!(e, ChordEvent::PredecessorChanged { new: None, .. })));
     assert!(n.predecessor().is_none());
 }
 
@@ -356,7 +373,10 @@ fn transfer_keys_promotes_to_primary_and_notifies_upper_layer() {
         t0(),
         NodeId(7),
         ChordMsg::TransferKeys {
-            items: vec![(Id(10), Bytes::from_static(b"a")), (Id(20), Bytes::from_static(b"b"))],
+            items: vec![
+                (Id(10), Bytes::from_static(b"a")),
+                (Id(20), Bytes::from_static(b"b")),
+            ],
         },
     );
     assert!(events(&acts)
@@ -377,13 +397,16 @@ fn replicate_adopts_owned_keys_as_primary() {
         succ.addr,
         ChordMsg::Replicate {
             items: vec![
-                (Id(800), Bytes::from_static(b"ours")),   // in (400, 1000]
+                (Id(800), Bytes::from_static(b"ours")),    // in (400, 1000]
                 (Id(3000), Bytes::from_static(b"theirs")), // not ours
             ],
         },
     );
     let _ = acts;
-    assert!(n.storage().get_primary(Id(800)).is_some(), "owned key adopted");
+    assert!(
+        n.storage().get_primary(Id(800)).is_some(),
+        "owned key adopted"
+    );
     assert!(n.storage().get_primary(Id(3000)).is_none());
     assert!(n.storage().get(Id(3000)).is_some(), "kept as replica");
 }

@@ -11,7 +11,7 @@
 //! `1/service_time`, and when it crashes *all* editing stops — the two
 //! effects experiment B1 measures.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use bytes::Bytes;
 
@@ -247,7 +247,9 @@ struct BaseDoc {
 pub struct BaselineUser {
     site: u64,
     coordinator: NodeId,
-    docs: HashMap<String, BaseDoc>,
+    // BTreeMap: the sync timer iterates docs to issue Sync commands; the
+    // order must be deterministic for reproducible runs.
+    docs: BTreeMap<String, BaseDoc>,
     ops: HashMap<u64, String>,
     op_seq: u64,
     validate_timeout: Duration,
@@ -274,7 +276,7 @@ impl BaselineUser {
         BaselineUser {
             site,
             coordinator,
-            docs: HashMap::new(),
+            docs: BTreeMap::new(),
             ops: HashMap::new(),
             op_seq: 0,
             validate_timeout,
@@ -422,7 +424,10 @@ impl Process<BaseMsg> for BaselineUser {
                 if state.phase != Phase::Validating || ts != state.replica.ts + 1 {
                     return;
                 }
-                state.replica.acknowledge_own(ts).expect("own patch applies");
+                state
+                    .replica
+                    .acknowledge_own(ts)
+                    .expect("own patch applies");
                 state.inflight = None;
                 state.phase = Phase::Idle;
                 self.published += 1;

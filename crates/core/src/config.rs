@@ -57,7 +57,10 @@ mod tests {
     #[test]
     fn defaults_are_consistent() {
         let c = LtrConfig::default();
-        assert!(c.validate_timeout > c.chord.op_timeout, "a validation spans at least one DHT op");
+        assert!(
+            c.validate_timeout > c.chord.op_timeout,
+            "a validation spans at least one DHT op"
+        );
         assert!(c.max_validate_attempts >= 2);
         assert!(c.gc.is_none());
     }

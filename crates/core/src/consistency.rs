@@ -121,9 +121,7 @@ pub fn check_total_order(sim: &Sim<Payload>) -> OrderReport {
                 let prev = last.get(doc.as_str()).copied().unwrap_or(0);
                 report.checked += 1;
                 if *ts != prev + 1 {
-                    report
-                        .violations
-                        .push((idx as u32, doc.clone(), prev, *ts));
+                    report.violations.push((idx as u32, doc.clone(), prev, *ts));
                 }
                 last.insert(doc, *ts);
             }

@@ -1,4 +1,4 @@
-//! # p2p-ltr — P2P Logging and Timestamping for Reconciliation
+//! # p2p_ltr — P2P Logging and Timestamping for Reconciliation
 //!
 //! A full reproduction of **Tlili, Dedzoe, Pacitti, Akbarinia, Valduriez:
 //! "P2P Logging and Timestamping for Reconciliation"** (INRIA RR-6497,
@@ -19,7 +19,7 @@
 //!
 //! This crate composes those substrates into a single peer process
 //! ([`node::LtrNode`]) runnable on the deterministic network simulator
-//! (`ltr-simnet`), plus:
+//! (`simnet`), plus:
 //!
 //! * [`harness::LtrNet`] — build whole networks, open documents, inject
 //!   edits, provoke failures (the paper's prototype-GUI workflow as an

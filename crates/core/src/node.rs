@@ -11,7 +11,7 @@
 //! wiring in [`crate::node_master`], and the Chord glue in
 //! [`crate::node_glue`].
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use bytes::Bytes;
 
@@ -130,7 +130,9 @@ pub struct LtrNode {
     pub(crate) chord: ChordNode,
     pub(crate) kts: KtsMaster,
 
-    pub(crate) docs: HashMap<String, DocState>,
+    // BTreeMap: tick_sync issues lookups in iteration order, which must be
+    // deterministic for reproducible runs.
+    pub(crate) docs: BTreeMap<String, DocState>,
     pub(crate) req_seq: u64,
     /// Outstanding KTS requests → document routing.
     pub(crate) validate_reqs: HashMap<ReqId, String>,
@@ -166,7 +168,7 @@ impl LtrNode {
             start_delay,
             chord,
             kts,
-            docs: HashMap::new(),
+            docs: BTreeMap::new(),
             req_seq: 0,
             validate_reqs: HashMap::new(),
             lastts_reqs: HashMap::new(),
@@ -208,7 +210,9 @@ impl LtrNode {
 
     /// Content hash of the user-visible document (convergence checks).
     pub fn doc_hash(&self, doc: &str) -> Option<u64> {
-        self.docs.get(doc).map(|d| d.replica.working().content_hash())
+        self.docs
+            .get(doc)
+            .map(|d| d.replica.working().content_hash())
     }
 
     /// Last integrated (validated) timestamp of an open document.
@@ -219,16 +223,14 @@ impl LtrNode {
     /// True while a publish cycle or retrieval is in flight for `doc`, or
     /// unsaved edits are pending.
     pub fn is_busy(&self, doc: &str) -> bool {
-        self.docs.get(doc).is_some_and(|d| {
-            d.phase != UserPhase::Idle || d.replica.pending().is_some()
-        })
+        self.docs
+            .get(doc)
+            .is_some_and(|d| d.phase != UserPhase::Idle || d.replica.pending().is_some())
     }
 
-    /// Names of the documents this peer has open.
+    /// Names of the documents this peer has open, in sorted order.
     pub fn open_docs(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.docs.keys().cloned().collect();
-        v.sort();
-        v
+        self.docs.keys().cloned().collect()
     }
 
     /// All `MasterGranted` events recorded here (continuity oracle input).
@@ -324,7 +326,10 @@ impl LtrNode {
             self.apply_master_actions(ctx, acts);
             if !entries.is_empty() {
                 let count = entries.len();
-                ctx.send(succ.addr, Payload::Kts(kts::KtsMsg::TableHandoff { entries }));
+                ctx.send(
+                    succ.addr,
+                    Payload::Kts(kts::KtsMsg::TableHandoff { entries }),
+                );
                 self.record(ctx.now(), LtrEventKind::TableHandedOff { count });
             }
         }

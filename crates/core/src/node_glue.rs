@@ -183,9 +183,7 @@ impl LtrNode {
         key: chord::Id,
         bytes: bytes::Bytes,
     ) {
-        let (op, actions) = self
-            .chord
-            .put(ctx.now(), key, bytes, PutMode::FirstWriter);
+        let (op, actions) = self.chord.put(ctx.now(), key, bytes, PutMode::FirstWriter);
         self.chord_ops.insert(op, OpPurpose::LogPut { token });
         self.apply_chord_actions(ctx, actions);
     }

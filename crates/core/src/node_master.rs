@@ -23,15 +23,9 @@ impl LtrNode {
             } => {
                 let responsible = self.chord.is_responsible(key);
                 ctx.metrics().incr("kts.validate_received");
-                let acts = self.kts.on_validate(
-                    key,
-                    &key_name,
-                    op,
-                    proposed_ts,
-                    patch,
-                    user,
-                    responsible,
-                );
+                let acts =
+                    self.kts
+                        .on_validate(key, &key_name, op, proposed_ts, patch, user, responsible);
                 self.apply_master_actions(ctx, acts);
             }
             KtsMsg::LastTs { op, key, user } => {
@@ -63,7 +57,11 @@ impl LtrNode {
             KtsMsg::Retry { op, last_ts } => self.on_validate_retry(ctx, op, last_ts),
             KtsMsg::Redirect { op } => self.on_validate_redirect(ctx, op),
             KtsMsg::Failed { op, reason } => self.on_validate_failed(ctx, op, reason),
-            KtsMsg::LastTsReply { op, key: _, last_ts } => {
+            KtsMsg::LastTsReply {
+                op,
+                key: _,
+                last_ts,
+            } => {
                 self.on_lastts_reply(ctx, op, last_ts);
             }
         }
@@ -92,8 +90,7 @@ impl LtrNode {
                     key: _,
                     key_name,
                 } => {
-                    let probe =
-                        LogProbe::new(key_name, 0, self.cfg.log.replication);
+                    let probe = LogProbe::new(key_name, 0, self.cfg.log.replication);
                     self.probes.insert(token, ProbeCtx { probe });
                     ctx.metrics().incr("kts.probes_started");
                     self.pump_probe(ctx, token);
@@ -196,7 +193,8 @@ impl LtrNode {
                 self.record(now, LtrEventKind::BackupsPromoted { count });
             }
             MasterEvent::HandedOff { count } => {
-                ctx.metrics().incr_by("kts.entries_handed_off", count as u64);
+                ctx.metrics()
+                    .incr_by("kts.entries_handed_off", count as u64);
             }
             MasterEvent::HandoffReceived { count } => {
                 ctx.metrics()
@@ -204,5 +202,4 @@ impl LtrNode {
             }
         }
     }
-
 }

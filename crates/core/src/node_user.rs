@@ -21,13 +21,20 @@ use p2plog::{LogRecord, RetrieveEvent, Retriever};
 use simnet::Ctx;
 
 use crate::events::LtrEventKind;
-use crate::node::{CoreTimer, DocState, InflightValidate, LtrNode, OpPurpose, RetrState, UserPhase};
+use crate::node::{
+    CoreTimer, DocState, InflightValidate, LtrNode, OpPurpose, RetrState, UserPhase,
+};
 use crate::payload::Payload;
 
 impl LtrNode {
     // ---- commands ---------------------------------------------------------
 
-    pub(crate) fn cmd_open_doc(&mut self, ctx: &mut Ctx<'_, Payload>, doc: String, initial: String) {
+    pub(crate) fn cmd_open_doc(
+        &mut self,
+        ctx: &mut Ctx<'_, Payload>,
+        doc: String,
+        initial: String,
+    ) {
         if self.docs.contains_key(&doc) {
             return;
         }
@@ -102,8 +109,12 @@ impl LtrNode {
     fn issue_sync_lookup(&mut self, ctx: &mut Ctx<'_, Payload>, doc: &str) {
         let key = p2plog::ht(doc);
         let (op, actions) = self.chord.lookup(ctx.now(), key);
-        self.chord_ops
-            .insert(op, OpPurpose::SyncLookup { doc: doc.to_owned() });
+        self.chord_ops.insert(
+            op,
+            OpPurpose::SyncLookup {
+                doc: doc.to_owned(),
+            },
+        );
         self.apply_chord_actions(ctx, actions);
     }
 
@@ -119,8 +130,12 @@ impl LtrNode {
         state.phase = UserPhase::LocateMaster;
         let key = p2plog::ht(doc);
         let (op, actions) = self.chord.lookup(ctx.now(), key);
-        self.chord_ops
-            .insert(op, OpPurpose::MasterLookup { doc: doc.to_owned() });
+        self.chord_ops.insert(
+            op,
+            OpPurpose::MasterLookup {
+                doc: doc.to_owned(),
+            },
+        );
         self.apply_chord_actions(ctx, actions);
     }
 
@@ -226,7 +241,14 @@ impl LtrNode {
                 latency_ms,
             },
         );
-        self.record(now, LtrEventKind::Integrated { doc: doc.clone(), ts, own: true });
+        self.record(
+            now,
+            LtrEventKind::Integrated {
+                doc: doc.clone(),
+                ts,
+                own: true,
+            },
+        );
         self.resume_after_cycle(ctx, &doc);
     }
 
@@ -289,13 +311,21 @@ impl LtrNode {
 
     /// The validation went unanswered (master crashed?): retry via a fresh
     /// master lookup, keeping the same proposed_ts and patch bytes.
-    pub(crate) fn on_validate_timeout(&mut self, ctx: &mut Ctx<'_, Payload>, doc: &str, req: ReqId) {
+    pub(crate) fn on_validate_timeout(
+        &mut self,
+        ctx: &mut Ctx<'_, Payload>,
+        doc: &str,
+        req: ReqId,
+    ) {
         let still_waiting = self
             .docs
             .get(doc)
             .and_then(|s| s.inflight.as_ref())
             .is_some_and(|i| i.req == req)
-            && self.docs.get(doc).is_some_and(|s| s.phase == UserPhase::Validating);
+            && self
+                .docs
+                .get(doc)
+                .is_some_and(|s| s.phase == UserPhase::Validating);
         if !still_waiting {
             return;
         }
@@ -336,8 +366,19 @@ impl LtrNode {
             state.retr = None;
         }
         ctx.metrics().incr("ltr.cycle_backoff");
-        self.record(now, LtrEventKind::CycleBackedOff { doc: doc.to_owned() });
-        self.arm_core_timer(ctx, backoff, CoreTimer::RetryDoc { doc: doc.to_owned() });
+        self.record(
+            now,
+            LtrEventKind::CycleBackedOff {
+                doc: doc.to_owned(),
+            },
+        );
+        self.arm_core_timer(
+            ctx,
+            backoff,
+            CoreTimer::RetryDoc {
+                doc: doc.to_owned(),
+            },
+        );
     }
 
     /// Backoff expired: resume whatever is unfinished.

@@ -61,7 +61,10 @@ fn rapid_edit_burst_from_one_peer_loses_nothing() {
 
     let text = net.node(editor).doc_text(DOC).unwrap();
     for i in 0..8 {
-        assert!(text.contains(&format!("burst-{i}")), "lost burst-{i}: {text}");
+        assert!(
+            text.contains(&format!("burst-{i}")),
+            "lost burst-{i}: {text}"
+        );
     }
     // Bursts coalesce: fewer grants than saves is expected and fine.
     let cont = check_continuity(&net.sim);
@@ -93,7 +96,10 @@ fn partition_between_user_and_master_heals() {
     assert!(net.node(editor).is_busy(DOC), "publish should be blocked");
 
     net.sim.net_mut().heal_all();
-    assert!(net.run_until_quiet(&[DOC], 90), "did not recover after heal");
+    assert!(
+        net.run_until_quiet(&[DOC], 90),
+        "did not recover after heal"
+    );
     net.settle(10);
 
     let cont = check_continuity(&net.sim);
@@ -146,10 +152,7 @@ fn explicit_sync_pulls_without_waiting_for_anti_entropy() {
     net.sync(peers[4], DOC);
     net.settle(5);
     assert_eq!(net.node(peers[4]).doc_ts(DOC), Some(1));
-    assert_eq!(
-        net.node(peers[4]).doc_text(DOC).unwrap(),
-        "base\nnews"
-    );
+    assert_eq!(net.node(peers[4]).doc_text(DOC).unwrap(), "base\nnews");
 }
 
 #[test]

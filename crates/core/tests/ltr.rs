@@ -69,11 +69,19 @@ fn two_concurrent_editors_converge() {
     net.settle(20);
     assert!(net.run_until_quiet(&[DOC], 60), "did not quiesce");
     let cont = check_continuity(&net.sim);
-    assert_eq!(cont.last_ts(DOC), 2, "both edits published: {:?}", cont.granted);
+    assert_eq!(
+        cont.last_ts(DOC),
+        2,
+        "both edits published: {:?}",
+        cont.granted
+    );
     assert_all_clean(&net);
     // Both contributions present.
     let text = net.node(peers[0]).doc_text(DOC).unwrap();
-    assert!(text.contains("from-one") && text.contains("from-five"), "{text}");
+    assert!(
+        text.contains("from-one") && text.contains("from-five"),
+        "{text}"
+    );
 }
 
 #[test]
@@ -92,7 +100,10 @@ fn many_concurrent_editors_one_doc() {
     assert_all_clean(&net);
     let text = net.node(peers[0]).doc_text(DOC).unwrap();
     for i in 0..6 {
-        assert!(text.contains(&format!("edit-by-{i}")), "missing edit {i} in {text}");
+        assert!(
+            text.contains(&format!("edit-by-{i}")),
+            "missing edit {i} in {text}"
+        );
     }
 }
 
@@ -169,7 +180,11 @@ fn master_crash_takeover_preserves_continuity() {
     net.settle(15); // failure detection + stabilization + promotion
 
     // Editing continues; the successor must grant ts=3 (continuity).
-    let editor = peers.iter().find(|p| p.addr != master.addr).copied().unwrap();
+    let editor = peers
+        .iter()
+        .find(|p| p.addr != master.addr)
+        .copied()
+        .unwrap();
     let cur = net.node(editor).doc_text(DOC).unwrap();
     net.edit(editor, DOC, &format!("{cur}\nthree"));
     assert!(net.run_until_quiet(&[DOC], 90), "stuck after master crash");
@@ -200,10 +215,17 @@ fn master_graceful_leave_hands_over_timestamps() {
     net.settle(10);
 
     // The new master (old successor) continues the sequence at 2.
-    let editor = peers.iter().find(|p| p.addr != master.addr).copied().unwrap();
+    let editor = peers
+        .iter()
+        .find(|p| p.addr != master.addr)
+        .copied()
+        .unwrap();
     let cur = net.node(editor).doc_text(DOC).unwrap();
     net.edit(editor, DOC, &format!("{cur}\nc"));
-    assert!(net.run_until_quiet(&[DOC], 60), "stuck after graceful leave");
+    assert!(
+        net.run_until_quiet(&[DOC], 60),
+        "stuck after graceful leave"
+    );
     net.settle(10);
 
     let cont = check_continuity(&net.sim);

@@ -18,7 +18,7 @@
 //!   conflicts there expose stale masters, which stand down.
 //!
 //! The state machine ([`master::KtsMaster`]) is sans-IO: publishing and
-//! probing are delegated to the embedding layer (see the `p2p-ltr` crate).
+//! probing are delegated to the embedding layer (see the `p2p_ltr` crate).
 
 #![warn(missing_docs)]
 

@@ -17,7 +17,7 @@
 //! [`MasterAction::BeginProbe`], completed via [`KtsMaster::publish_done`] /
 //! [`KtsMaster::probe_done`].
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use bytes::Bytes;
 
@@ -160,8 +160,10 @@ struct InflightPublish {
 /// The Master-key role state for one node (it may master many keys).
 pub struct KtsMaster {
     cfg: KtsConfig,
-    entries: HashMap<Id, KeyEntry>,
-    backups: HashMap<Id, Backup>,
+    // BTreeMap: export_range/export_all emit handoff + redirect messages in
+    // iteration order, which must be deterministic for reproducible runs.
+    entries: BTreeMap<Id, KeyEntry>,
+    backups: BTreeMap<Id, Backup>,
     inflight: HashMap<u64, InflightPublish>,
     probing: HashMap<u64, Id>,
     token_seq: u64,
@@ -173,8 +175,8 @@ impl KtsMaster {
     pub fn new(cfg: KtsConfig) -> Self {
         KtsMaster {
             cfg,
-            entries: HashMap::new(),
-            backups: HashMap::new(),
+            entries: BTreeMap::new(),
+            backups: BTreeMap::new(),
             inflight: HashMap::new(),
             probing: HashMap::new(),
             token_seq: 0,
@@ -614,8 +616,10 @@ impl KtsMaster {
             });
             // Queued requests for exported keys are redirected.
             for q in e.queue {
-                self.acts
-                    .push(MasterAction::Send(q.user.addr, KtsMsg::Redirect { op: q.op }));
+                self.acts.push(MasterAction::Send(
+                    q.user.addr,
+                    KtsMsg::Redirect { op: q.op },
+                ));
             }
         }
         if !out.is_empty() {
@@ -639,8 +643,10 @@ impl KtsMaster {
                 epoch: e.epoch,
             });
             for q in e.queue {
-                self.acts
-                    .push(MasterAction::Send(q.user.addr, KtsMsg::Redirect { op: q.op }));
+                self.acts.push(MasterAction::Send(
+                    q.user.addr,
+                    KtsMsg::Redirect { op: q.op },
+                ));
             }
         }
         if !out.is_empty() {
@@ -693,10 +699,9 @@ mod tests {
         let acts = m.on_validate(key(), "doc", ReqId(1), 0, patch(), user(1), true);
         let token = publish_token(&acts);
         let acts = m.publish_done(token, PublishOutcome::Ok);
-        assert!(acts.iter().any(|a| matches!(
-            a,
-            MasterAction::Send(_, KtsMsg::Granted { ts: 1, .. })
-        )));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, MasterAction::Send(_, KtsMsg::Granted { ts: 1, .. }))));
         assert!(acts
             .iter()
             .any(|a| matches!(a, MasterAction::ReplicateToSucc { .. })));
@@ -707,7 +712,15 @@ mod tests {
     fn continuous_timestamps_across_grants() {
         let mut m = KtsMaster::new(cfg_no_probe());
         for expect in 1..=5u64 {
-            let acts = m.on_validate(key(), "doc", ReqId(expect), expect - 1, patch(), user(1), true);
+            let acts = m.on_validate(
+                key(),
+                "doc",
+                ReqId(expect),
+                expect - 1,
+                patch(),
+                user(1),
+                true,
+            );
             let token = publish_token(&acts);
             let acts = m.publish_done(token, PublishOutcome::Ok);
             let granted = acts
@@ -728,10 +741,9 @@ mod tests {
         m.publish_done(t, PublishOutcome::Ok);
         // Second user still at ts 0.
         let acts = m.on_validate(key(), "doc", ReqId(2), 0, patch(), user(2), true);
-        assert!(acts.iter().any(|a| matches!(
-            a,
-            MasterAction::Send(_, KtsMsg::Retry { last_ts: 1, .. })
-        )));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, MasterAction::Send(_, KtsMsg::Retry { last_ts: 1, .. }))));
     }
 
     #[test]
@@ -743,7 +755,9 @@ mod tests {
         let t1 = publish_token(&acts1);
         let acts2 = m.on_validate(key(), "doc", ReqId(2), 0, patch(), user(2), true);
         assert!(
-            !acts2.iter().any(|a| matches!(a, MasterAction::BeginPublish { .. })),
+            !acts2
+                .iter()
+                .any(|a| matches!(a, MasterAction::BeginPublish { .. })),
             "second publish must wait for the first"
         );
         // First completes; the queued request is now behind (last_ts=1) and
@@ -815,14 +829,15 @@ mod tests {
                 _ => None,
             })
             .expect("must probe unknown key");
-        assert!(!acts.iter().any(|a| matches!(a, MasterAction::BeginPublish { .. })));
+        assert!(!acts
+            .iter()
+            .any(|a| matches!(a, MasterAction::BeginPublish { .. })));
         // Probe finds 3 patches already in the log (state was lost).
         let acts = m.probe_done(probe_token, 3);
         // The queued user (at ts 0) is behind -> Retry with last_ts 3.
-        assert!(acts.iter().any(|a| matches!(
-            a,
-            MasterAction::Send(_, KtsMsg::Retry { last_ts: 3, .. })
-        )));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, MasterAction::Send(_, KtsMsg::Retry { last_ts: 3, .. }))));
         assert_eq!(m.last_ts(key()), 3);
     }
 

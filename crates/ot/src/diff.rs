@@ -22,7 +22,8 @@ pub fn diff(old: &Document, new: &Document, site: u64) -> Vec<TextOp> {
     }
     // Trim common suffix (not overlapping the prefix).
     let mut suffix = 0;
-    while suffix < a.len() - prefix && suffix < b.len() - prefix
+    while suffix < a.len() - prefix
+        && suffix < b.len() - prefix
         && a[a.len() - 1 - suffix] == b[b.len() - 1 - suffix]
     {
         suffix += 1;

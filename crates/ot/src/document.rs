@@ -170,7 +170,10 @@ mod tests {
         let a = Document::from_text("ab\nc");
         let b = Document::from_text("a\nbc");
         assert_ne!(a.content_hash(), b.content_hash());
-        assert_eq!(a.content_hash(), Document::from_text("ab\nc").content_hash());
+        assert_eq!(
+            a.content_hash(),
+            Document::from_text("ab\nc").content_hash()
+        );
     }
 
     #[test]

@@ -15,7 +15,9 @@ struct VirtualLog {
 
 impl VirtualLog {
     fn new() -> Self {
-        VirtualLog { patches: Vec::new() }
+        VirtualLog {
+            patches: Vec::new(),
+        }
     }
     fn last_ts(&self) -> u64 {
         self.patches.len() as u64

@@ -62,7 +62,10 @@ impl LogIndex {
 
     /// Total records indexed.
     pub fn len(&self) -> usize {
-        self.per_doc.values().map(|m| m.values().map(Vec::len).sum::<usize>()).sum()
+        self.per_doc
+            .values()
+            .map(|m| m.values().map(Vec::len).sum::<usize>())
+            .sum()
     }
 
     /// True when nothing is indexed.

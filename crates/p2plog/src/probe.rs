@@ -119,7 +119,11 @@ impl LogProbe {
                 }
             }
             Phase::Binary { lo, hi, .. } => {
-                let (lo, hi) = if ts_present { (probing, hi) } else { (lo, probing) };
+                let (lo, hi) = if ts_present {
+                    (probing, hi)
+                } else {
+                    (lo, probing)
+                };
                 if hi - lo <= 1 {
                     self.phase = Phase::Done(lo);
                 } else {

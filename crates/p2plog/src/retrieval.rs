@@ -106,8 +106,7 @@ impl Retriever {
 
     fn refill(&mut self) -> Vec<FetchCmd> {
         let mut cmds = Vec::new();
-        while self.next_issue <= self.to
-            && (self.next_issue - self.next_emit) < self.window as u64
+        while self.next_issue <= self.to && (self.next_issue - self.next_emit) < self.window as u64
         {
             let ts = self.next_issue;
             self.states.insert(ts, TsState::InFlight { hash_idx: 1 });
@@ -209,8 +208,14 @@ mod tests {
         assert_eq!(
             ev,
             vec![
-                RetrieveEvent::Deliver { ts: 1, bytes: b("p1") },
-                RetrieveEvent::Deliver { ts: 2, bytes: b("p2") },
+                RetrieveEvent::Deliver {
+                    ts: 1,
+                    bytes: b("p1")
+                },
+                RetrieveEvent::Deliver {
+                    ts: 2,
+                    bytes: b("p2")
+                },
             ]
         );
         // ts=3 completes the range.
@@ -218,7 +223,10 @@ mod tests {
         assert_eq!(
             ev,
             vec![
-                RetrieveEvent::Deliver { ts: 3, bytes: b("p3") },
+                RetrieveEvent::Deliver {
+                    ts: 3,
+                    bytes: b("p3")
+                },
                 RetrieveEvent::Done,
             ]
         );

@@ -142,11 +142,11 @@ fn retriever_window_never_exceeded() {
     let window = 3usize;
     let mut r = Retriever::new("doc", 0, 30, 2, window);
     let mut queue: Vec<FetchCmd> = r.start();
-    let mut outstanding: std::collections::HashSet<u64> =
-        queue.iter().map(|c| c.ts).collect();
+    let mut outstanding: std::collections::HashSet<u64> = queue.iter().map(|c| c.ts).collect();
     assert!(outstanding.len() <= window);
     while let Some(cmd) = queue.pop() {
-        let (more, events) = r.on_fetch_result(cmd.ts, cmd.hash_idx, Some(Bytes::from_static(b"x")));
+        let (more, events) =
+            r.on_fetch_result(cmd.ts, cmd.hash_idx, Some(Bytes::from_static(b"x")));
         for ev in &events {
             if let RetrieveEvent::Deliver { ts, .. } = ev {
                 outstanding.remove(ts);

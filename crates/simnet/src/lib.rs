@@ -1,4 +1,4 @@
-//! # ltr-simnet — deterministic discrete-event network simulator
+//! # simnet — deterministic discrete-event network simulator
 //!
 //! The substrate under the P2P-LTR reproduction. The original prototype
 //! (Tlili et al., RR-6497) ran Java objects over RMI and a GUI harness that

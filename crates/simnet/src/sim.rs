@@ -335,7 +335,11 @@ impl<M: std::fmt::Debug + 'static> Sim<M> {
                 self.queue.push(Entry {
                     at,
                     seq,
-                    kind: EventKind::Timer { node: from, id, tag },
+                    kind: EventKind::Timer {
+                        node: from,
+                        id,
+                        tag,
+                    },
                 });
             }
         }

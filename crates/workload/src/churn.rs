@@ -91,7 +91,12 @@ fn join_now(sim: &mut Sim<Payload>, name: &str, cfg: &LtrConfig) -> Option<NodeR
     let id = Id::hash(name.as_bytes());
     let addr = NodeId(sim.node_count() as u32);
     let me = NodeRef::new(addr, id);
-    let assigned = sim.add_node(LtrNode::new(me, cfg.clone(), Some(bootstrap), Duration::ZERO));
+    let assigned = sim.add_node(LtrNode::new(
+        me,
+        cfg.clone(),
+        Some(bootstrap),
+        Duration::ZERO,
+    ));
     debug_assert_eq!(assigned, addr);
     sim.metrics_mut().incr("churn.joins");
     Some(me)
@@ -158,7 +163,8 @@ fn schedule_churn_step(
                 }
             }
             let gap = Duration::from_micros(
-                rng.exp_mean(inner.spec.mean_interval.as_micros() as f64).max(1.0) as u64,
+                rng.exp_mean(inner.spec.mean_interval.as_micros() as f64)
+                    .max(1.0) as u64,
             );
             let next = s.now() + gap;
             schedule_churn_step(s, next, inner, rng, counter + 1);
@@ -220,11 +226,14 @@ mod tests {
         let alive = net.alive_peers();
         assert!(alive.len() >= 4, "min_alive violated: {}", alive.len());
         for p in &protected {
-            assert_eq!(net.sim.node_state(p.addr), NodeState::Up, "protected peer removed");
+            assert_eq!(
+                net.sim.node_state(p.addr),
+                NodeState::Up,
+                "protected peer removed"
+            );
         }
         assert!(
-            net.sim.metrics().counter("churn.crashes")
-                + net.sim.metrics().counter("churn.leaves")
+            net.sim.metrics().counter("churn.crashes") + net.sim.metrics().counter("churn.leaves")
                 > 0
         );
     }

@@ -46,7 +46,8 @@ pub fn drive_editors(sim: &mut Sim<Payload>, peers: &[NodeRef], spec: &EditorSpe
     let mut seeder = Rng64::new(seed);
     for &peer in peers {
         let rng = seeder.fork();
-        let first = sim.now() + Duration::from_micros(seeder.gen_below(spec.mean_think.as_micros().max(1)));
+        let first =
+            sim.now() + Duration::from_micros(seeder.gen_below(spec.mean_think.as_micros().max(1)));
         schedule_step(sim, first, peer, Arc::clone(&inner), rng, 0);
     }
 }
@@ -79,13 +80,7 @@ fn schedule_step(
                     }
                 });
                 if let Some(new_text) = edit {
-                    s.send_external(
-                        peer.addr,
-                        Payload::Cmd(UserCmd::Edit {
-                            doc,
-                            new_text,
-                        }),
-                    );
+                    s.send_external(peer.addr, Payload::Cmd(UserCmd::Edit { doc, new_text }));
                     s.metrics_mut().incr("workload.edits_issued");
                 }
             }
@@ -130,6 +125,9 @@ mod tests {
         // No edits after the horizon.
         let at_horizon = issued;
         net.settle(5);
-        assert_eq!(net.sim.metrics().counter("workload.edits_issued"), at_horizon);
+        assert_eq!(
+            net.sim.metrics().counter("workload.edits_issued"),
+            at_horizon
+        );
     }
 }

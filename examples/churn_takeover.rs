@@ -32,10 +32,7 @@ fn main() {
         net.run_until_quiet(&[DOC], 60);
     }
     let master1 = net.master_of(DOC);
-    println!(
-        "master of {DOC} is {} — granted ts 1..=3",
-        master1.addr
-    );
+    println!("master of {DOC} is {} — granted ts 1..=3", master1.addr);
 
     // ---- scenario 1: crash the master -------------------------------
     println!("\n*** crashing master {} ***", master1.addr);
@@ -56,7 +53,10 @@ fn main() {
     for p in net.alive_peers() {
         for ev in &net.node(p).events {
             if let LtrEventKind::BackupsPromoted { count } = ev.kind {
-                println!("  {} promoted {count} backup entr(y/ies) at {}", p.addr, ev.at);
+                println!(
+                    "  {} promoted {count} backup entr(y/ies) at {}",
+                    p.addr, ev.at
+                );
             }
         }
     }

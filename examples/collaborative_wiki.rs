@@ -31,7 +31,10 @@ fn main() {
     }
     net.settle(2);
 
-    println!("wiki up: {peers_n} peers, {editors_n} editors, {} pages", pages.len());
+    println!(
+        "wiki up: {peers_n} peers, {editors_n} editors, {} pages",
+        pages.len()
+    );
     let horizon = net.now() + Duration::from_secs(60);
     drive_editors(
         &mut net.sim,

@@ -32,7 +32,10 @@ fn main() {
     // 3. Two users edit *concurrently* — both start from "# Welcome".
     net.edit(peers[0], "wiki/Main", "# Welcome\nAlice was here");
     net.edit(peers[5], "wiki/Main", "Bob's intro\n# Welcome");
-    println!("two concurrent edits injected (peers {} and {})", peers[0].addr, peers[5].addr);
+    println!(
+        "two concurrent edits injected (peers {} and {})",
+        peers[0].addr, peers[5].addr
+    );
 
     // 4. P2P-LTR validates, timestamps, logs and reconciles them.
     assert!(net.run_until_quiet(&["wiki/Main"], 60), "did not quiesce");

@@ -21,7 +21,11 @@ pub fn assert_invariants(net: &LtrNet) {
         cont.gaps
     );
     let order = p2p_ltr::check_total_order(&net.sim);
-    assert!(order.is_clean(), "total order violated: {:?}", order.violations);
+    assert!(
+        order.is_clean(),
+        "total order violated: {:?}",
+        order.violations
+    );
     let conv = p2p_ltr::check_convergence(&net.sim);
     assert!(
         conv.is_converged(),

@@ -47,7 +47,10 @@ fn double_failure_recovers_last_ts_from_the_log() {
         .unwrap();
     let cur = net.node(editor).doc_text(DOC).unwrap();
     net.edit(editor, DOC, &format!("{cur}\nafter-double-failure"));
-    assert!(net.run_until_quiet(&[DOC], 120), "stuck after double failure");
+    assert!(
+        net.run_until_quiet(&[DOC], 120),
+        "stuck after double failure"
+    );
     net.settle(15);
 
     let cont = p2p_ltr::check_continuity(&net.sim);

@@ -61,7 +61,10 @@ fn editors_plus_churn_soak() {
     let churn = net.sim.metrics().counter("churn.crashes")
         + net.sim.metrics().counter("churn.leaves")
         + net.sim.metrics().counter("churn.joins");
-    assert!(churn >= 5, "churn did not exercise the system ({churn} events)");
+    assert!(
+        churn >= 5,
+        "churn did not exercise the system ({churn} events)"
+    );
 
     assert_invariants(&net);
 }
@@ -80,7 +83,10 @@ fn message_loss_is_survivable() {
         let editor = peers[i];
         let cur = net.node(editor).doc_text("doc").unwrap();
         net.edit(editor, "doc", &format!("{cur}\nedit-{i}"));
-        assert!(net.run_until_quiet(&["doc"], 120), "edit {i} stuck under loss");
+        assert!(
+            net.run_until_quiet(&["doc"], 120),
+            "edit {i} stuck under loss"
+        );
         net.settle(3);
     }
     net.settle(15);

@@ -1,0 +1,240 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! This build environment has no network access, so the workspace vendors a
+//! minimal benchmarking harness with criterion's API shape: groups,
+//! `bench_function`, `iter`/`iter_batched`/`iter_with_setup`, throughput
+//! annotation, and the `criterion_group!`/`criterion_main!` macros. It
+//! measures a median-of-samples nanoseconds-per-iteration and prints one
+//! line per benchmark — enough to compare hot paths locally; swap in the
+//! real crate for statistics, plots and regression tracking.
+
+use std::time::{Duration, Instant};
+
+/// How a batch of inputs is sized in `iter_batched` (accepted for API
+/// compatibility; this harness always batches per-iteration).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Re-export of [`std::hint::black_box`], mirroring `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Accepted for CLI compatibility; configuration flags are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&id.into(), self.sample_size, None, &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 30,
+            throughput: None,
+        }
+    }
+
+    /// Prints the final summary (no-op in this stand-in).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a named benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    name: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    f: &mut impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples_ns: Vec::new(),
+        target_samples: samples,
+    };
+    f(&mut b);
+    b.samples_ns.sort_unstable_by(f64::total_cmp);
+    let median = if b.samples_ns.is_empty() {
+        0.0
+    } else {
+        b.samples_ns[b.samples_ns.len() / 2]
+    };
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) if median > 0.0 => {
+            format!(
+                "  {:>10.1} MiB/s",
+                n as f64 / median * 1e9 / (1 << 20) as f64
+            )
+        }
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            format!("  {:>10.1} Melem/s", n as f64 / median * 1e3)
+        }
+        _ => String::new(),
+    };
+    println!("bench: {name:<48} {median:>14.1} ns/iter{rate}");
+}
+
+/// Timing context passed to each benchmark closure.
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Measures the routine, called repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Calibrate: how many iterations fit in ~2ms?
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(10));
+        let per_sample = ((2_000_000u128 / once.as_nanos()).clamp(1, 100_000)) as u32;
+        for _ in 0..self.target_samples {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            self.samples_ns
+                .push(t.elapsed().as_nanos() as f64 / per_sample as f64);
+        }
+    }
+
+    /// Measures a routine over inputs produced by `setup`; only the routine
+    /// is timed.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.target_samples {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples_ns.push(t.elapsed().as_nanos() as f64);
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`] with per-iteration batches.
+    pub fn iter_with_setup<I, O>(&mut self, setup: impl FnMut() -> I, routine: impl FnMut(I) -> O) {
+        self.iter_batched(setup, routine, BatchSize::PerIteration)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_api_flows() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5);
+        g.throughput(Throughput::Bytes(64));
+        g.bench_function("noop", |b| {
+            b.iter_batched(|| 3u64, |x| x * 2, BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,49 @@
+//! Boolean strategies (`prop::bool::ANY`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy yielding `true` or `false` with equal probability.
+#[derive(Clone, Copy, Debug)]
+pub struct Any;
+
+/// The canonical boolean strategy instance.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Returns a strategy yielding `true` with the given probability.
+pub fn weighted(p: f64) -> Weighted {
+    Weighted { p }
+}
+
+/// Strategy returned by [`weighted`].
+#[derive(Clone, Copy, Debug)]
+pub struct Weighted {
+    p: f64,
+}
+
+impl Strategy for Weighted {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < self.p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_hits_both_values() {
+        let mut rng = TestRng::from_seed(7);
+        let trues = (0..1000).filter(|_| ANY.generate(&mut rng)).count();
+        assert!((300..700).contains(&trues), "got {trues}");
+    }
+}

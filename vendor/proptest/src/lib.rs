@@ -1,0 +1,165 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! This build environment has no network access, so the workspace vendors a
+//! compact property-testing engine covering the API subset its tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! * strategies: integer ranges, tuples, [`collection::vec`],
+//!   [`sample::select`], [`bool::ANY`](crate::bool::ANY), [`any`],
+//!   `&str` regex literals (a generative subset), and
+//!   [`Strategy::prop_map`].
+//!
+//! Compared to the real crate there is **no shrinking** and no persisted
+//! failure corpus: a failing case panics with the full generated inputs so
+//! it can be replayed by reading the panic message. Case generation is
+//! deterministic per test (seeded from the test's module path), so failures
+//! reproduce across runs.
+
+pub mod arbitrary;
+pub mod bool;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The user-facing prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespace of strategy modules, mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::string;
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (with
+/// the generated inputs reported) rather than unwinding immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "{}\n  left: `{:?}`\n right: `{:?}`",
+                    format!($($fmt)*),
+                    l,
+                    r
+                ),
+            ));
+        }
+    }};
+}
+
+/// Asserts two expressions are unequal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            l
+        );
+    }};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` that runs the body over many generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            $(let $arg = $strat;)+
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&$arg, &mut rng);)+
+                let inputs = {
+                    let mut s = String::new();
+                    $(
+                        s.push_str(stringify!($arg));
+                        s.push_str(" = ");
+                        s.push_str(&format!("{:?}", &$arg));
+                        s.push_str(", ");
+                    )+
+                    s
+                };
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest case {}/{} failed: {}\n  inputs: {}",
+                        case + 1,
+                        config.cases,
+                        e,
+                        inputs
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}

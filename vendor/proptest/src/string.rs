@@ -1,0 +1,204 @@
+//! Generative regex subset: `&str` strategies like `"[a-z0-9]{1,40}"`.
+//!
+//! Supports literal characters, `.` (any printable ASCII), character
+//! classes `[..]` with ranges, escapes, and the quantifiers `*`, `+`, `?`,
+//! `{m}`, `{m,n}`. Unbounded quantifiers are capped at 8 repetitions. This
+//! is a *generator*, not a matcher — exactly what property tests need.
+
+use crate::test_runner::TestRng;
+
+/// Maximum repetitions for `*` and `+`.
+const UNBOUNDED_CAP: usize = 8;
+
+#[derive(Debug)]
+enum Atom {
+    /// A fixed character.
+    Literal(char),
+    /// `.`: any printable ASCII character.
+    AnyChar,
+    /// `[..]`: one of an explicit set.
+    Class(Vec<char>),
+}
+
+#[derive(Debug)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize, // inclusive
+}
+
+/// Generates one string matching the pattern.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let n = if piece.min == piece.max {
+            piece.min
+        } else {
+            rng.usize_in(piece.min, piece.max + 1)
+        };
+        for _ in 0..n {
+            out.push(gen_atom(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+fn gen_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        // Printable ASCII (space through tilde).
+        Atom::AnyChar => (0x20 + rng.below(0x5f) as u8) as char,
+        Atom::Class(set) => set[rng.usize_in(0, set.len())],
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::AnyChar
+            }
+            '[' => {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| p + i + 1)
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+                let set = parse_class(&chars[i + 1..close], pattern);
+                i = close + 1;
+                Atom::Class(set)
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+                i += 1;
+                Atom::Literal(unescape(c))
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('*') => {
+                i += 1;
+                (0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                i += 1;
+                (1, UNBOUNDED_CAP)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('{') => {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| p + i + 1)
+                    .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                parse_counts(&body, pattern)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn parse_counts(body: &str, pattern: &str) -> (usize, usize) {
+    if let Some((lo, hi)) = body.split_once(',') {
+        let lo: usize = lo.trim().parse().unwrap_or(0);
+        let hi: usize = hi
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| (lo + UNBOUNDED_CAP).max(lo));
+        assert!(lo <= hi, "bad counts in {pattern:?}");
+        (lo, hi)
+    } else {
+        let n: usize = body
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("bad count in {pattern:?}"));
+        (n, n)
+    }
+}
+
+fn parse_class(body: &[char], pattern: &str) -> Vec<char> {
+    assert!(!body.is_empty(), "empty class in {pattern:?}");
+    let mut set = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        // A `-` between two chars forms a range; at the ends it is literal.
+        if body[i] == '\\' {
+            i += 1;
+            set.push(unescape(body[i]));
+            i += 1;
+        } else if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i], body[i + 2]);
+            assert!(lo <= hi, "inverted range in {pattern:?}");
+            for c in lo..=hi {
+                set.push(c);
+            }
+            i += 3;
+        } else {
+            set.push(body[i]);
+            i += 1;
+        }
+    }
+    set
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_ranges_and_trailing_dash() {
+        let mut rng = TestRng::from_seed(9);
+        for _ in 0..500 {
+            let s = generate_from_pattern("[a-zA-Z0-9/_-]{1,40}", &mut rng);
+            assert!((1..=40).contains(&s.len()), "len {}", s.len());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "/_-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn dot_star_generates_printable() {
+        let mut rng = TestRng::from_seed(10);
+        for _ in 0..200 {
+            let s = generate_from_pattern(".*", &mut rng);
+            assert!(s.len() <= UNBOUNDED_CAP);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn literals_and_exact_counts() {
+        let mut rng = TestRng::from_seed(11);
+        assert_eq!(generate_from_pattern("abc", &mut rng), "abc");
+        assert_eq!(generate_from_pattern("x{3}", &mut rng), "xxx");
+    }
+}

@@ -1,0 +1,53 @@
+//! End-to-end exercise of the vendored `proptest!` macro: generated
+//! bindings, config override, composite strategies, and failure reporting.
+
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn composite_strategies_generate_in_bounds(
+        v in prop::collection::vec(any::<u8>(), 0..10),
+        name in "[a-z]{1,5}",
+        pick in prop::sample::select(vec![2usize, 4, 8]),
+        flag in prop::bool::ANY,
+        pair in (0usize..3, 10u64..20).prop_map(|(x, y)| y + x as u64),
+    ) {
+        prop_assert!(v.len() < 10);
+        prop_assert!((1..=5).contains(&name.len()));
+        prop_assert!(name.chars().all(|c| c.is_ascii_lowercase()));
+        prop_assert!([2usize, 4, 8].contains(&pick));
+        prop_assert!(flag || !flag);
+        prop_assert!((10..23).contains(&pair));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    #[should_panic(expected = "always fails")]
+    fn failing_property_panics_with_inputs(a in 0u64..10) {
+        prop_assert!(a > 100, "always fails (a = {})", a);
+    }
+}
+
+#[test]
+fn cases_actually_loop() {
+    // Count executions through a thread-local to prove the macro runs the
+    // configured number of cases.
+    use std::cell::Cell;
+    thread_local! { static COUNT: Cell<u32> = const { Cell::new(0) }; }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(17))]
+        fn counted(_x in 0u64..5) {
+            COUNT.with(|c| c.set(c.get() + 1));
+        }
+    }
+    counted();
+    assert_eq!(COUNT.with(|c| c.get()), 17);
+}
