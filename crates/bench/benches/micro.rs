@@ -35,6 +35,15 @@ fn bench_id_math(c: &mut Criterion) {
     c.bench_function("log_locations_n3", |b| {
         b.iter(|| p2plog::log_locations(3, black_box("wiki/Main"), black_box(42)))
     });
+    // The cached path: per-document midstates amortize the doc-name hashing
+    // across timestamps (retrieval windows, publish fan-outs).
+    let dh = p2plog::DocHashes::new("wiki/Main", 3);
+    c.bench_function("dochashes_locations_n3", |b| {
+        b.iter(|| {
+            dh.locations(black_box(42))
+                .fold(0u64, |acc, id| acc ^ id.raw())
+        })
+    });
 }
 
 fn make_doc(lines: usize) -> Document {
@@ -111,6 +120,83 @@ fn bench_codecs(c: &mut Criterion) {
     });
 }
 
+fn bench_master_stamping(c: &mut Criterion) {
+    // The master's grant hot path: validate → stamp → derive the n log
+    // locations (the puts the embedding layer would issue) → publish ack.
+    // 100 sequential stamps on one key, replication n=3.
+    use kts::{KtsConfig, KtsMaster, MasterAction, PublishOutcome, ReqId};
+    use simnet::NodeId;
+    let cfg = KtsConfig {
+        probe_unknown_keys: false,
+        probe_on_promote: false,
+        ..KtsConfig::default()
+    };
+    let user = chord::NodeRef::new(NodeId(1), Id(1000));
+    let patch = Bytes::from_static(b"a smallish encoded patch body");
+    let doc = p2plog::DocName::new("wiki/Main");
+    c.bench_function("master_stamp_loop_100_n3", |b| {
+        b.iter_batched(
+            || KtsMaster::new(cfg.clone()),
+            |mut m| {
+                let key = Id(0x42);
+                for i in 0..100u64 {
+                    let acts = m.on_validate(key, &doc, ReqId(i), i, patch.clone(), user, true);
+                    let (token, ts) = acts
+                        .iter()
+                        .find_map(|a| match a {
+                            MasterAction::BeginPublish { token, ts, .. } => Some((*token, *ts)),
+                            _ => None,
+                        })
+                        .expect("grant must publish");
+                    for loc in p2plog::log_locations_iter(3, "wiki/Main", ts) {
+                        black_box(loc);
+                    }
+                    m.publish_done(token, PublishOutcome::Ok);
+                }
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_sim_event_loop(c: &mut Criterion) {
+    // Raw event-loop throughput: two echo processes ping-ponging with
+    // constant latency — every iteration is send+deliver bookkeeping only.
+    use simnet::{Ctx, Duration, LatencyModel, NetConfig, NodeId, Process, Sim, Time};
+    #[derive(Debug)]
+    struct Ball(u64);
+    struct Paddle;
+    impl Process<Ball> for Paddle {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Ball>, from: NodeId, msg: Ball) {
+            ctx.send(from, Ball(msg.0 + 1));
+        }
+    }
+    c.bench_function("sim_event_loop_20k_events", |b| {
+        b.iter_batched(
+            || {
+                let mut net = NetConfig::lan();
+                net.latency = LatencyModel::Constant(Duration::from_micros(100));
+                let mut sim = Sim::new(7, net);
+                let a = sim.add_node(Paddle);
+                let bb = sim.add_node(Paddle);
+                // Four concurrent rallies.
+                for _ in 0..4 {
+                    sim.send_external(a, Ball(0));
+                    sim.send_external(bb, Ball(0));
+                }
+                sim
+            },
+            |mut sim| {
+                // 8 balls × one hop per 100 µs × 250 ms ≈ 20k deliveries.
+                sim.run_until(Time::from_millis(250));
+                sim
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
 fn bench_retriever(c: &mut Criterion) {
     // Pure state-machine cost of a 100-ts retrieval (no network).
     let payload = Bytes::from_static(b"some record bytes");
@@ -129,6 +215,28 @@ fn bench_retriever(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+
+    // Window-throughput variant: a wide pipeline over a long range, with
+    // every third fetch missing replica h1 (forcing fallback derivation).
+    let mut g = c.benchmark_group("retriever");
+    g.throughput(Throughput::Elements(512));
+    g.bench_function("window32_512_ts", |b| {
+        b.iter_batched(
+            || Retriever::new("wiki/Main", 0, 512, 3, 32),
+            |mut r| {
+                let mut pending: Vec<p2plog::FetchCmd> = r.start();
+                while let Some(cmd) = pending.pop() {
+                    let miss = cmd.ts % 3 == 0 && cmd.hash_idx == 1;
+                    let found = if miss { None } else { Some(payload.clone()) };
+                    let (more, _ev) = r.on_fetch_result(cmd.ts, cmd.hash_idx, found);
+                    pending.extend(more);
+                }
+                r
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
 }
 
 criterion_group!(
@@ -137,6 +245,8 @@ criterion_group!(
     bench_id_math,
     bench_ot,
     bench_codecs,
+    bench_master_stamping,
+    bench_sim_event_loop,
     bench_retriever
 );
 criterion_main!(benches);

@@ -7,7 +7,7 @@
 
 use std::fmt;
 
-use crate::sha1::sha1_u64;
+use crate::sha1::{sha1_u64, Sha1};
 
 /// Number of bits in the identifier space (and finger-table size).
 pub const M: usize = 64;
@@ -24,12 +24,20 @@ impl Id {
 
     /// Hash a name with a one-byte domain-separation salt. The timestamp hash
     /// `ht` and the replication hashes `h1..hn` are all derived this way.
+    /// Streams `salt ':' data` through the hasher — no temporary buffer.
     pub fn hash_salted(salt: u8, data: &[u8]) -> Id {
-        let mut buf = Vec::with_capacity(data.len() + 2);
-        buf.push(salt);
-        buf.push(b':');
-        buf.extend_from_slice(data);
-        Id(sha1_u64(&buf))
+        let mut s = Id::salted_hasher(salt);
+        s.update(data);
+        Id(s.finalize_u64())
+    }
+
+    /// A hasher pre-seeded with the `salt ':'` domain-separation prefix.
+    /// Callers absorb the name (and any suffix) and finalize; `p2plog`
+    /// caches these as per-document midstates.
+    pub fn salted_hasher(salt: u8) -> Sha1 {
+        let mut s = Sha1::new();
+        s.update(&[salt, b':']);
+        s
     }
 
     /// `self + 2^exp (mod 2^64)` — finger-table start positions.

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod docname;
 pub mod events;
 pub mod harness;
 pub mod id;
@@ -36,6 +37,7 @@ pub mod storage;
 pub mod storage_proto;
 
 pub use config::ChordConfig;
+pub use docname::DocName;
 pub use events::{Action, ChordEvent, ChordTimer};
 pub use id::{Id, M};
 pub use msg::{ChordMsg, NodeRef, OpId, PutMode};

@@ -6,6 +6,14 @@
 //! the 1995 standard directly; it is ~100 lines and exhaustively tested
 //! against the official test vectors.
 //!
+//! The implementation is **incremental** ([`Sha1`]): input is absorbed in
+//! 64-byte blocks with a small stack buffer for the tail, and padding is
+//! applied on a stack copy at finalization — no heap allocation anywhere.
+//! Incremental hashing also enables **midstate caching**: the placement
+//! hash family in `p2plog` absorbs `salt ':' doc` once per document and
+//! clones the ~100-byte state per timestamp instead of re-hashing the
+//! document name for every key derivation.
+//!
 //! SHA-1's cryptographic weaknesses (collision attacks) are irrelevant here:
 //! the DHT only needs uniform dispersion, exactly as in the original Chord
 //! paper.
@@ -16,73 +24,150 @@ pub const DIGEST_LEN: usize = 20;
 /// A SHA-1 digest.
 pub type Digest = [u8; DIGEST_LEN];
 
-/// Compute the SHA-1 digest of `data`.
-pub fn sha1(data: &[u8]) -> Digest {
-    let mut h: [u32; 5] = [
-        0x6745_2301,
-        0xEFCD_AB89,
-        0x98BA_DCFE,
-        0x1032_5476,
-        0xC3D2_E1F0,
-    ];
+const H0: [u32; 5] = [
+    0x6745_2301,
+    0xEFCD_AB89,
+    0x98BA_DCFE,
+    0x1032_5476,
+    0xC3D2_E1F0,
+];
 
-    // Message padding: 0x80, zeros, 64-bit big-endian bit length.
-    let bit_len = (data.len() as u64).wrapping_mul(8);
-    let mut padded = Vec::with_capacity(data.len() + 72);
-    padded.extend_from_slice(data);
-    padded.push(0x80);
-    while padded.len() % 64 != 56 {
-        padded.push(0);
-    }
-    padded.extend_from_slice(&bit_len.to_be_bytes());
-
+/// One compression round over a full 64-byte block.
+fn compress(h: &mut [u32; 5], block: &[u8]) {
+    debug_assert_eq!(block.len(), 64);
     let mut w = [0u32; 80];
-    for block in padded.chunks_exact(64) {
-        for (i, word) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
-        }
-        for i in 16..80 {
-            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
-        }
-
-        let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
-        for (i, &wi) in w.iter().enumerate() {
-            let (f, k) = match i {
-                0..=19 => ((b & c) | ((!b) & d), 0x5A82_7999),
-                20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
-                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
-                _ => (b ^ c ^ d, 0xCA62_C1D6),
-            };
-            let tmp = a
-                .rotate_left(5)
-                .wrapping_add(f)
-                .wrapping_add(e)
-                .wrapping_add(k)
-                .wrapping_add(wi);
-            e = d;
-            d = c;
-            c = b.rotate_left(30);
-            b = a;
-            a = tmp;
-        }
-        h[0] = h[0].wrapping_add(a);
-        h[1] = h[1].wrapping_add(b);
-        h[2] = h[2].wrapping_add(c);
-        h[3] = h[3].wrapping_add(d);
-        h[4] = h[4].wrapping_add(e);
+    for (i, word) in block.chunks_exact(4).enumerate() {
+        w[i] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
+    }
+    for i in 16..80 {
+        w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
     }
 
-    let mut out = [0u8; DIGEST_LEN];
-    for (i, word) in h.iter().enumerate() {
-        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+    for (i, &wi) in w.iter().enumerate() {
+        let (f, k) = match i {
+            0..=19 => ((b & c) | ((!b) & d), 0x5A82_7999),
+            20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
+            40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
+            _ => (b ^ c ^ d, 0xCA62_C1D6),
+        };
+        let tmp = a
+            .rotate_left(5)
+            .wrapping_add(f)
+            .wrapping_add(e)
+            .wrapping_add(k)
+            .wrapping_add(wi);
+        e = d;
+        d = c;
+        c = b.rotate_left(30);
+        b = a;
+        a = tmp;
     }
-    out
+    h[0] = h[0].wrapping_add(a);
+    h[1] = h[1].wrapping_add(b);
+    h[2] = h[2].wrapping_add(c);
+    h[3] = h[3].wrapping_add(d);
+    h[4] = h[4].wrapping_add(e);
+}
+
+/// Incremental SHA-1 state: absorb with [`Sha1::update`], read the digest
+/// with [`Sha1::finalize`]. `finalize` borrows immutably, so a state can be
+/// cloned/reused — the basis of midstate caching for key derivation.
+#[derive(Clone, Debug)]
+pub struct Sha1 {
+    h: [u32; 5],
+    /// Total bytes absorbed.
+    len: u64,
+    /// Tail bytes not yet forming a full block.
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// Fresh hasher.
+    pub fn new() -> Self {
+        Sha1 {
+            h: H0,
+            len: 0,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorb `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        self.len += data.len() as u64;
+        let mut rest = data;
+        if self.buf_len > 0 {
+            let take = rest.len().min(64 - self.buf_len);
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len < 64 {
+                return; // everything fit in the tail buffer
+            }
+            let block = self.buf;
+            compress(&mut self.h, &block);
+            self.buf_len = 0;
+        }
+        let mut chunks = rest.chunks_exact(64);
+        for block in &mut chunks {
+            compress(&mut self.h, block);
+        }
+        let tail = chunks.remainder();
+        self.buf[..tail.len()].copy_from_slice(tail);
+        self.buf_len = tail.len();
+    }
+
+    /// The digest of everything absorbed so far. Pads a stack copy of the
+    /// state, leaving `self` usable for further updates.
+    pub fn finalize(&self) -> Digest {
+        let mut h = self.h;
+        let bit_len = self.len.wrapping_mul(8);
+        // Padding: 0x80, zeros to 56 mod 64, then the 64-bit bit length —
+        // at most two blocks, built on the stack.
+        let mut block = [0u8; 64];
+        block[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+        block[self.buf_len] = 0x80;
+        if self.buf_len >= 56 {
+            compress(&mut h, &block);
+            block = [0u8; 64];
+        }
+        block[56..].copy_from_slice(&bit_len.to_be_bytes());
+        compress(&mut h, &block);
+
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, word) in h.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// First 8 bytes of the digest as a big-endian `u64` — the ring id.
+    pub fn finalize_u64(&self) -> u64 {
+        let d = self.finalize();
+        u64::from_be_bytes([d[0], d[1], d[2], d[3], d[4], d[5], d[6], d[7]])
+    }
+}
+
+/// Compute the SHA-1 digest of `data` (one-shot convenience).
+pub fn sha1(data: &[u8]) -> Digest {
+    let mut s = Sha1::new();
+    s.update(data);
+    s.finalize()
 }
 
 /// First 8 bytes of the digest as a big-endian `u64` — the ring id.
 pub fn sha1_u64(data: &[u8]) -> u64 {
-    let d = sha1(data);
-    u64::from_be_bytes([d[0], d[1], d[2], d[3], d[4], d[5], d[6], d[7]])
+    let mut s = Sha1::new();
+    s.update(data);
+    s.finalize_u64()
 }
 
 #[cfg(test)]
@@ -144,6 +229,39 @@ mod tests {
             assert_eq!(d, sha1(&data));
             assert_ne!(d, [0u8; 20]);
         }
+    }
+
+    #[test]
+    fn incremental_matches_oneshot_all_split_points() {
+        let data: Vec<u8> = (0..200u16).map(|i| (i % 251) as u8).collect();
+        let expect = sha1(&data);
+        for split in 0..=data.len() {
+            let mut s = Sha1::new();
+            s.update(&data[..split]);
+            s.update(&data[split..]);
+            assert_eq!(s.finalize(), expect, "split at {split}");
+        }
+        // Byte-at-a-time.
+        let mut s = Sha1::new();
+        for &b in &data {
+            s.update(&[b]);
+        }
+        assert_eq!(s.finalize(), expect);
+    }
+
+    #[test]
+    fn finalize_is_nondestructive_and_cloneable() {
+        let mut s = Sha1::new();
+        s.update(b"abc");
+        let first = s.finalize();
+        assert_eq!(s.finalize(), first, "finalize must not consume state");
+        // A cloned midstate diverges independently.
+        let mut fork = s.clone();
+        fork.update(b"def");
+        s.update(b"xyz");
+        assert_eq!(fork.finalize(), sha1(b"abcdef"));
+        assert_eq!(s.finalize(), sha1(b"abcxyz"));
+        assert_eq!(first, sha1(b"abc"));
     }
 
     #[test]

@@ -19,12 +19,26 @@ pub struct Storage {
 }
 
 /// Extract the keys of `map` lying in the clockwise arc `(from, to]`,
-/// handling wrap-around.
+/// handling wrap-around. Uses ordered `range` traversal so a stabilization
+/// transfer touches only the keys in the arc, not the whole map.
 fn keys_in_range(map: &BTreeMap<Id, Bytes>, from: Id, to: Id) -> Vec<Id> {
-    map.keys()
-        .copied()
-        .filter(|k| k.in_half_open(from, to))
-        .collect()
+    use std::ops::Bound::{Excluded, Included, Unbounded};
+    if from == to {
+        // Degenerate arc `(a, a]` = the whole ring (single-node ownership),
+        // matching `Id::in_half_open`.
+        map.keys().copied().collect()
+    } else if from < to {
+        // No wrap: plain ordered sub-range (from, to].
+        map.range((Excluded(from), Included(to)))
+            .map(|(k, _)| *k)
+            .collect()
+    } else {
+        // Wraps past zero: (from, MAX] ∪ [MIN, to].
+        map.range((Excluded(from), Unbounded))
+            .chain(map.range((Unbounded, Included(to))))
+            .map(|(k, _)| *k)
+            .collect()
+    }
 }
 
 impl Storage {
@@ -202,6 +216,50 @@ mod tests {
         assert_eq!(moved.len(), 2);
         assert_eq!(s.primary_len(), 1);
         assert!(s.get_primary(Id(1000)).is_some());
+    }
+
+    #[test]
+    fn keys_in_range_matches_predicate_filter() {
+        // The ordered-range traversal must select exactly the keys the
+        // in_half_open predicate selects, for wrap, no-wrap and degenerate
+        // arcs alike.
+        let mut map = BTreeMap::new();
+        let keys = [0u64, 1, 7, 100, 1000, u64::MAX / 2, u64::MAX - 3, u64::MAX];
+        for k in keys {
+            map.insert(Id(k), b("v"));
+        }
+        let arcs = [
+            (Id(0), Id(1000)),                // no wrap
+            (Id(1000), Id(0)),                // wrap through MAX
+            (Id(u64::MAX - 5), Id(5)),        // tight wrap
+            (Id(7), Id(7)),                   // degenerate: whole ring
+            (Id(u64::MAX), Id(u64::MAX - 3)), // wrap, bounds on stored keys
+        ];
+        for (from, to) in arcs {
+            let got = keys_in_range(&map, from, to);
+            let mut expect: Vec<Id> = map
+                .keys()
+                .copied()
+                .filter(|k| k.in_half_open(from, to))
+                .collect();
+            let mut sorted = got.clone();
+            sorted.sort();
+            expect.sort();
+            assert_eq!(sorted, expect, "arc ({from:?}, {to:?}]");
+        }
+    }
+
+    #[test]
+    fn wraparound_range_is_clockwise_ordered() {
+        let mut map = BTreeMap::new();
+        for k in [3u64, 900, u64::MAX - 1] {
+            map.insert(Id(k), b("v"));
+        }
+        // (MAX-5, 5]: clockwise walk passes MAX-1 before 3.
+        assert_eq!(
+            keys_in_range(&map, Id(u64::MAX - 5), Id(5)),
+            vec![Id(u64::MAX - 1), Id(3)]
+        );
     }
 
     #[test]

@@ -62,7 +62,7 @@ pub fn check_continuity(sim: &Sim<Payload>) -> ContinuityReport {
             }
             for ev in &node.events {
                 if let LtrEventKind::Integrated { doc, ts, .. } = &ev.kind {
-                    witnessed.entry(doc.clone()).or_default().insert(*ts);
+                    witnessed.entry(doc.to_string()).or_default().insert(*ts);
                 }
             }
         }
@@ -121,7 +121,9 @@ pub fn check_total_order(sim: &Sim<Payload>) -> OrderReport {
                 let prev = last.get(doc.as_str()).copied().unwrap_or(0);
                 report.checked += 1;
                 if *ts != prev + 1 {
-                    report.violations.push((idx as u32, doc.clone(), prev, *ts));
+                    report
+                        .violations
+                        .push((idx as u32, doc.to_string(), prev, *ts));
                 }
                 last.insert(doc, *ts);
             }

@@ -1,6 +1,7 @@
 //! Observable events recorded by every node, consumed by the experiment
 //! oracles (continuity, total order, convergence).
 
+use p2plog::DocName;
 use simnet::Time;
 
 /// One notable occurrence on a node, with its simulated time.
@@ -19,14 +20,14 @@ pub enum LtrEventKind {
     /// patch is durably in the log. The continuity oracle consumes these.
     MasterGranted {
         /// Document name.
-        doc: String,
+        doc: DocName,
         /// The granted timestamp.
         ts: u64,
     },
     /// This node's own tentative patch was validated.
     OwnPublished {
         /// Document name.
-        doc: String,
+        doc: DocName,
         /// Its timestamp.
         ts: u64,
         /// End-to-end latency from the save to the ack, in ms.
@@ -37,7 +38,7 @@ pub enum LtrEventKind {
     /// exactly +1 increments.
     Integrated {
         /// Document name.
-        doc: String,
+        doc: DocName,
         /// Timestamp integrated.
         ts: u64,
         /// True when this was our own patch recovered from the log after a
@@ -47,12 +48,12 @@ pub enum LtrEventKind {
     /// A validation was redirected (master moved).
     Redirected {
         /// Document name.
-        doc: String,
+        doc: DocName,
     },
     /// A validation answered "retry: you are behind".
     RetriedBehind {
         /// Document name.
-        doc: String,
+        doc: DocName,
         /// The master's last_ts at that moment.
         master_last_ts: u64,
     },
@@ -79,12 +80,12 @@ pub enum LtrEventKind {
     /// A publish cycle exhausted its attempts and backed off.
     CycleBackedOff {
         /// Document name.
-        doc: String,
+        doc: DocName,
     },
     /// A retrieval could not find a record (all replicas missed).
     RetrievalStalled {
         /// Document name.
-        doc: String,
+        doc: DocName,
         /// The missing timestamp.
         ts: u64,
     },

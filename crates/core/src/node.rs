@@ -17,7 +17,7 @@ use bytes::Bytes;
 
 use chord::{ChordNode, ChordTimer, NodeRef, OpId};
 use kts::{KtsMaster, ReqId};
-use p2plog::{LogProbe, PublishTracker, Retriever};
+use p2plog::{DocName, LogProbe, PublishTracker, Retriever};
 use simnet::{Ctx, Duration, NodeId, Process, Time};
 
 use crate::config::LtrConfig;
@@ -65,7 +65,10 @@ pub(crate) struct RetrState {
 
 /// Per-document state at this peer.
 pub(crate) struct DocState {
-    pub name: String,
+    pub name: DocName,
+    /// `ht(name)` — the master-key placement, computed once at open so the
+    /// validation/sync paths never re-hash the document name.
+    pub key: chord::Id,
     pub replica: ot::Replica,
     pub phase: UserPhase,
     pub inflight: Option<InflightValidate>,
@@ -78,14 +81,14 @@ pub(crate) struct DocState {
 #[derive(Clone, Debug)]
 pub(crate) enum OpPurpose {
     /// Locate the master to send a `Validate`.
-    MasterLookup { doc: String },
+    MasterLookup { doc: DocName },
     /// Locate the master to send a `LastTs` (anti-entropy).
-    SyncLookup { doc: String },
+    SyncLookup { doc: DocName },
     /// One replica put of a publish fan-out.
     LogPut { token: u64 },
     /// One fetch of a retrieval.
     LogFetch {
-        doc: String,
+        doc: DocName,
         ts: u64,
         hash_idx: usize,
     },
@@ -113,9 +116,9 @@ pub(crate) enum CoreTimer {
     /// Log GC tick.
     GcTick,
     /// Validation response timeout.
-    ValidateTimeout { doc: String, req: ReqId },
+    ValidateTimeout { doc: DocName, req: ReqId },
     /// Backoff expiry for a failed cycle.
-    RetryDoc { doc: String },
+    RetryDoc { doc: DocName },
 }
 
 /// A full P2P-LTR peer as a simulator process.
@@ -132,11 +135,11 @@ pub struct LtrNode {
 
     // BTreeMap: tick_sync issues lookups in iteration order, which must be
     // deterministic for reproducible runs.
-    pub(crate) docs: BTreeMap<String, DocState>,
+    pub(crate) docs: BTreeMap<DocName, DocState>,
     pub(crate) req_seq: u64,
     /// Outstanding KTS requests → document routing.
-    pub(crate) validate_reqs: HashMap<ReqId, String>,
-    pub(crate) lastts_reqs: HashMap<ReqId, String>,
+    pub(crate) validate_reqs: HashMap<ReqId, DocName>,
+    pub(crate) lastts_reqs: HashMap<ReqId, DocName>,
 
     pub(crate) chord_ops: HashMap<OpId, OpPurpose>,
     pub(crate) publishes: HashMap<u64, PublishCtx>,
@@ -230,7 +233,7 @@ impl LtrNode {
 
     /// Names of the documents this peer has open, in sorted order.
     pub fn open_docs(&self) -> Vec<String> {
-        self.docs.keys().cloned().collect()
+        self.docs.keys().map(|d| d.to_string()).collect()
     }
 
     /// All `MasterGranted` events recorded here (continuity oracle input).
@@ -238,7 +241,7 @@ impl LtrNode {
         self.events
             .iter()
             .filter_map(|e| match &e.kind {
-                LtrEventKind::MasterGranted { doc, ts } => Some((doc.clone(), *ts)),
+                LtrEventKind::MasterGranted { doc, ts } => Some((doc.to_string(), *ts)),
                 _ => None,
             })
             .collect()

@@ -192,7 +192,7 @@ impl LtrNode {
     pub(crate) fn issue_log_fetch(
         &mut self,
         ctx: &mut Ctx<'_, Payload>,
-        doc: &str,
+        doc: &p2plog::DocName,
         ts: u64,
         hash_idx: usize,
         key: chord::Id,
@@ -205,7 +205,7 @@ impl LtrNode {
         self.chord_ops.insert(
             op,
             OpPurpose::LogFetch {
-                doc: doc.to_owned(),
+                doc: doc.clone(),
                 ts,
                 hash_idx,
             },

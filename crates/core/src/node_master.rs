@@ -121,21 +121,21 @@ impl LtrNode {
         &mut self,
         ctx: &mut Ctx<'_, Payload>,
         token: u64,
-        doc: &str,
+        doc: &p2plog::DocName,
         ts: u64,
         patch: bytes::Bytes,
     ) {
         let n = self.cfg.log.replication;
         // Author for bookkeeping: patches are self-describing.
         let author = ot::decode_patch(&patch).map(|p| p.author).unwrap_or(0);
-        let record = p2plog::LogRecord::new(doc, ts, author, patch);
+        let record = p2plog::LogRecord::new(doc.as_str(), ts, author, patch);
         let bytes = record.encode();
         let tracker = PublishTracker::new(n, self.cfg.log.ack_policy);
         // Register the tracker *before* issuing puts: a put to a key we own
         // completes synchronously.
         self.publishes.insert(token, PublishCtx { tracker });
         ctx.metrics().incr("log.publishes");
-        for key in p2plog::log_locations(n, doc, ts) {
+        for key in p2plog::log_locations_iter(n, doc, ts) {
             self.issue_log_put(ctx, token, key, bytes.clone());
         }
     }

@@ -17,7 +17,7 @@ use bytes::Bytes;
 
 use kts::{KtsMsg, ReqId, ValidateFailure};
 use ot::Document;
-use p2plog::{LogRecord, RetrieveEvent, Retriever};
+use p2plog::{DocName, LogRecord, RetrieveEvent, Retriever};
 use simnet::Ctx;
 
 use crate::events::LtrEventKind;
@@ -35,13 +35,15 @@ impl LtrNode {
         doc: String,
         initial: String,
     ) {
-        if self.docs.contains_key(&doc) {
+        if self.docs.contains_key(doc.as_str()) {
             return;
         }
+        let doc = DocName::from(doc);
         let replica = ot::Replica::new(self.site, Document::from_text(&initial));
         self.docs.insert(
             doc.clone(),
             DocState {
+                key: p2plog::ht(&doc),
                 name: doc,
                 replica,
                 phase: UserPhase::Idle,
@@ -95,7 +97,7 @@ impl LtrNode {
         if !self.chord.is_joined() {
             return;
         }
-        let idle_docs: Vec<String> = self
+        let idle_docs: Vec<DocName> = self
             .docs
             .values()
             .filter(|d| d.phase == UserPhase::Idle)
@@ -107,14 +109,13 @@ impl LtrNode {
     }
 
     fn issue_sync_lookup(&mut self, ctx: &mut Ctx<'_, Payload>, doc: &str) {
-        let key = p2plog::ht(doc);
+        let (key, name) = match self.docs.get(doc) {
+            Some(s) => (s.key, s.name.clone()),
+            None => return,
+        };
         let (op, actions) = self.chord.lookup(ctx.now(), key);
-        self.chord_ops.insert(
-            op,
-            OpPurpose::SyncLookup {
-                doc: doc.to_owned(),
-            },
-        );
+        self.chord_ops
+            .insert(op, OpPurpose::SyncLookup { doc: name });
         self.apply_chord_actions(ctx, actions);
     }
 
@@ -128,14 +129,11 @@ impl LtrNode {
         };
         debug_assert!(state.replica.pending().is_some(), "nothing to validate");
         state.phase = UserPhase::LocateMaster;
-        let key = p2plog::ht(doc);
+        let key = state.key;
+        let name = state.name.clone();
         let (op, actions) = self.chord.lookup(ctx.now(), key);
-        self.chord_ops.insert(
-            op,
-            OpPurpose::MasterLookup {
-                doc: doc.to_owned(),
-            },
-        );
+        self.chord_ops
+            .insert(op, OpPurpose::MasterLookup { doc: name });
         self.apply_chord_actions(ctx, actions);
     }
 
@@ -173,27 +171,22 @@ impl LtrNode {
             attempts,
         });
         state.phase = UserPhase::Validating;
-        self.validate_reqs.insert(req, doc.to_owned());
+        let key = state.key;
+        let name = state.name.clone();
+        self.validate_reqs.insert(req, name.clone());
         ctx.send(
             master.addr,
             Payload::Kts(KtsMsg::Validate {
                 op: req,
-                key: p2plog::ht(doc),
-                key_name: doc.to_owned(),
+                key,
+                key_name: name.clone(),
                 proposed_ts,
                 patch: bytes,
                 user: me,
             }),
         );
         ctx.metrics().incr("ltr.validate_sent");
-        self.arm_core_timer(
-            ctx,
-            timeout,
-            CoreTimer::ValidateTimeout {
-                doc: doc.to_owned(),
-                req,
-            },
-        );
+        self.arm_core_timer(ctx, timeout, CoreTimer::ValidateTimeout { doc: name, req });
     }
 
     /// `Granted{ts}`: our tentative patch is in the log with `ts`.
@@ -361,24 +354,17 @@ impl LtrNode {
     pub(crate) fn backoff_doc(&mut self, ctx: &mut Ctx<'_, Payload>, doc: &str) {
         let backoff = self.cfg.retry_backoff;
         let now = ctx.now();
-        if let Some(state) = self.docs.get_mut(doc) {
-            state.phase = UserPhase::Backoff;
-            state.retr = None;
-        }
+        let name = match self.docs.get_mut(doc) {
+            Some(state) => {
+                state.phase = UserPhase::Backoff;
+                state.retr = None;
+                state.name.clone()
+            }
+            None => DocName::from(doc),
+        };
         ctx.metrics().incr("ltr.cycle_backoff");
-        self.record(
-            now,
-            LtrEventKind::CycleBackedOff {
-                doc: doc.to_owned(),
-            },
-        );
-        self.arm_core_timer(
-            ctx,
-            backoff,
-            CoreTimer::RetryDoc {
-                doc: doc.to_owned(),
-            },
-        );
+        self.record(now, LtrEventKind::CycleBackedOff { doc: name.clone() });
+        self.arm_core_timer(ctx, backoff, CoreTimer::RetryDoc { doc: name });
     }
 
     /// Backoff expired: resume whatever is unfinished.
@@ -439,7 +425,8 @@ impl LtrNode {
             }
             return;
         }
-        let mut retriever = Retriever::new(doc, state.replica.ts, to_ts, n, window);
+        let name = state.name.clone();
+        let mut retriever = Retriever::new(name.clone(), state.replica.ts, to_ts, n, window);
         let cmds = retriever.start();
         state.phase = UserPhase::Retrieving;
         state.retr = Some(RetrState {
@@ -449,7 +436,7 @@ impl LtrNode {
         });
         ctx.metrics().incr("ltr.retrievals");
         for cmd in cmds {
-            self.issue_log_fetch(ctx, doc, cmd.ts, cmd.hash_idx, cmd.key);
+            self.issue_log_fetch(ctx, &name, cmd.ts, cmd.hash_idx, cmd.key);
         }
     }
 
@@ -457,12 +444,12 @@ impl LtrNode {
     pub(crate) fn on_log_fetch_result(
         &mut self,
         ctx: &mut Ctx<'_, Payload>,
-        doc: &str,
+        doc: &DocName,
         ts: u64,
         hash_idx: usize,
         found: Option<Bytes>,
     ) {
-        let state = match self.docs.get_mut(doc) {
+        let state = match self.docs.get_mut(doc.as_str()) {
             Some(s) => s,
             None => return,
         };
@@ -489,7 +476,7 @@ impl LtrNode {
                     self.record(
                         now,
                         LtrEventKind::RetrievalStalled {
-                            doc: doc.to_owned(),
+                            doc: doc.clone(),
                             ts,
                         },
                     );
@@ -497,7 +484,7 @@ impl LtrNode {
                     return;
                 }
                 RetrieveEvent::Done => {
-                    let state = self.docs.get_mut(doc).expect("doc exists");
+                    let state = self.docs.get_mut(doc.as_str()).expect("doc exists");
                     let resume = state
                         .retr
                         .take()
@@ -520,12 +507,12 @@ impl LtrNode {
     fn integrate_record(
         &mut self,
         ctx: &mut Ctx<'_, Payload>,
-        doc: &str,
+        doc: &DocName,
         ts: u64,
         bytes: &Bytes,
     ) -> bool {
         let now = ctx.now();
-        let state = match self.docs.get_mut(doc) {
+        let state = match self.docs.get_mut(doc.as_str()) {
             Some(s) => s,
             None => return false,
         };
@@ -564,7 +551,7 @@ impl LtrNode {
                     self.record(
                         now,
                         LtrEventKind::OwnPublished {
-                            doc: doc.to_owned(),
+                            doc: doc.clone(),
                             ts,
                             latency_ms,
                         },
@@ -572,7 +559,7 @@ impl LtrNode {
                     self.record(
                         now,
                         LtrEventKind::Integrated {
-                            doc: doc.to_owned(),
+                            doc: doc.clone(),
                             ts,
                             own: true,
                         },
@@ -597,7 +584,7 @@ impl LtrNode {
                 self.record(
                     now,
                     LtrEventKind::Integrated {
-                        doc: doc.to_owned(),
+                        doc: doc.clone(),
                         ts,
                         own: false,
                     },
@@ -630,12 +617,14 @@ impl LtrNode {
         if state.phase != UserPhase::Idle {
             return;
         }
-        self.lastts_reqs.insert(req, doc.to_owned());
+        let key = state.key;
+        let name = state.name.clone();
+        self.lastts_reqs.insert(req, name);
         ctx.send(
             master.addr,
             Payload::Kts(KtsMsg::LastTs {
                 op: req,
-                key: p2plog::ht(doc),
+                key,
                 user: me,
             }),
         );

@@ -23,7 +23,8 @@ use bytes::Bytes;
 
 use crate::config::KtsConfig;
 use crate::msg::{HandoffEntry, KtsMsg, ReqId, ValidateFailure};
-use chord::{Id, NodeRef};
+use chord::{DocName, Id, NodeRef};
+
 use simnet::NodeId;
 
 /// Effects requested by the master state machine.
@@ -40,7 +41,7 @@ pub enum MasterAction {
         /// The key being served.
         key: Id,
         /// Document name (for the replication hashes).
-        key_name: String,
+        key_name: DocName,
         /// The granted timestamp.
         ts: u64,
         /// The patch to store.
@@ -54,7 +55,7 @@ pub enum MasterAction {
         /// The key to probe.
         key: Id,
         /// Document name.
-        key_name: String,
+        key_name: DocName,
     },
     /// Back up an entry at the Master-key-Succ (the embedding layer knows
     /// the current successor).
@@ -74,7 +75,7 @@ pub enum MasterEvent {
         /// The key.
         key: Id,
         /// The document name behind the key.
-        doc: String,
+        doc: DocName,
         /// The timestamp.
         ts: u64,
     },
@@ -132,7 +133,7 @@ enum Phase {
 
 #[derive(Clone, Debug)]
 struct KeyEntry {
-    key_name: String,
+    key_name: DocName,
     last_ts: u64,
     epoch: u64,
     phase: Phase,
@@ -143,7 +144,7 @@ struct KeyEntry {
 
 #[derive(Clone, Debug)]
 struct Backup {
-    key_name: String,
+    key_name: DocName,
     last_ts: u64,
     epoch: u64,
 }
@@ -151,7 +152,7 @@ struct Backup {
 #[derive(Clone, Debug)]
 struct InflightPublish {
     key: Id,
-    key_name: String,
+    key_name: DocName,
     ts: u64,
     op: ReqId,
     user: NodeRef,
@@ -230,7 +231,7 @@ impl KtsMaster {
     pub fn on_validate(
         &mut self,
         key: Id,
-        key_name: &str,
+        key_name: &DocName,
         op: ReqId,
         proposed_ts: u64,
         patch: Bytes,
@@ -276,7 +277,7 @@ impl KtsMaster {
     }
 
     /// Create (or promote from backup) the entry for `key`.
-    fn ensure_entry(&mut self, key: Id, key_name: &str) {
+    fn ensure_entry(&mut self, key: Id, key_name: &DocName) {
         if self.entries.contains_key(&key) {
             return;
         }
@@ -303,7 +304,7 @@ impl KtsMaster {
                 self.entries.insert(
                     key,
                     KeyEntry {
-                        key_name: key_name.to_owned(),
+                        key_name: key_name.clone(),
                         last_ts: 0,
                         epoch: 1,
                         phase: Phase::Ready,
@@ -696,7 +697,15 @@ mod tests {
     #[test]
     fn first_validate_grants_ts_1() {
         let mut m = KtsMaster::new(cfg_no_probe());
-        let acts = m.on_validate(key(), "doc", ReqId(1), 0, patch(), user(1), true);
+        let acts = m.on_validate(
+            key(),
+            &DocName::new("doc"),
+            ReqId(1),
+            0,
+            patch(),
+            user(1),
+            true,
+        );
         let token = publish_token(&acts);
         let acts = m.publish_done(token, PublishOutcome::Ok);
         assert!(acts
@@ -714,7 +723,7 @@ mod tests {
         for expect in 1..=5u64 {
             let acts = m.on_validate(
                 key(),
-                "doc",
+                &DocName::new("doc"),
                 ReqId(expect),
                 expect - 1,
                 patch(),
@@ -737,10 +746,26 @@ mod tests {
     #[test]
     fn behind_user_gets_retry() {
         let mut m = KtsMaster::new(cfg_no_probe());
-        let t = publish_token(&m.on_validate(key(), "doc", ReqId(1), 0, patch(), user(1), true));
+        let t = publish_token(&m.on_validate(
+            key(),
+            &DocName::new("doc"),
+            ReqId(1),
+            0,
+            patch(),
+            user(1),
+            true,
+        ));
         m.publish_done(t, PublishOutcome::Ok);
         // Second user still at ts 0.
-        let acts = m.on_validate(key(), "doc", ReqId(2), 0, patch(), user(2), true);
+        let acts = m.on_validate(
+            key(),
+            &DocName::new("doc"),
+            ReqId(2),
+            0,
+            patch(),
+            user(2),
+            true,
+        );
         assert!(acts
             .iter()
             .any(|a| matches!(a, MasterAction::Send(_, KtsMsg::Retry { last_ts: 1, .. }))));
@@ -751,9 +776,25 @@ mod tests {
         let mut m = KtsMaster::new(cfg_no_probe());
         // Two users race at proposed_ts=0; the first grant starts publishing,
         // the second stays queued.
-        let acts1 = m.on_validate(key(), "doc", ReqId(1), 0, patch(), user(1), true);
+        let acts1 = m.on_validate(
+            key(),
+            &DocName::new("doc"),
+            ReqId(1),
+            0,
+            patch(),
+            user(1),
+            true,
+        );
         let t1 = publish_token(&acts1);
-        let acts2 = m.on_validate(key(), "doc", ReqId(2), 0, patch(), user(2), true);
+        let acts2 = m.on_validate(
+            key(),
+            &DocName::new("doc"),
+            ReqId(2),
+            0,
+            patch(),
+            user(2),
+            true,
+        );
         assert!(
             !acts2
                 .iter()
@@ -772,7 +813,15 @@ mod tests {
     #[test]
     fn not_responsible_redirects() {
         let mut m = KtsMaster::new(cfg_no_probe());
-        let acts = m.on_validate(key(), "doc", ReqId(1), 0, patch(), user(1), false);
+        let acts = m.on_validate(
+            key(),
+            &DocName::new("doc"),
+            ReqId(1),
+            0,
+            patch(),
+            user(1),
+            false,
+        );
         assert!(acts
             .iter()
             .any(|a| matches!(a, MasterAction::Send(_, KtsMsg::Redirect { .. }))));
@@ -782,7 +831,15 @@ mod tests {
     #[test]
     fn conflict_marks_stale_and_redirects() {
         let mut m = KtsMaster::new(cfg_no_probe());
-        let t = publish_token(&m.on_validate(key(), "doc", ReqId(1), 0, patch(), user(1), true));
+        let t = publish_token(&m.on_validate(
+            key(),
+            &DocName::new("doc"),
+            ReqId(1),
+            0,
+            patch(),
+            user(1),
+            true,
+        ));
         let acts = m.publish_done(t, PublishOutcome::Conflict);
         assert!(acts
             .iter()
@@ -796,7 +853,15 @@ mod tests {
     #[test]
     fn unreachable_log_fails_request_but_keeps_state() {
         let mut m = KtsMaster::new(cfg_no_probe());
-        let t = publish_token(&m.on_validate(key(), "doc", ReqId(1), 0, patch(), user(1), true));
+        let t = publish_token(&m.on_validate(
+            key(),
+            &DocName::new("doc"),
+            ReqId(1),
+            0,
+            patch(),
+            user(1),
+            true,
+        ));
         let acts = m.publish_done(t, PublishOutcome::Unreachable);
         assert!(acts.iter().any(|a| matches!(
             a,
@@ -810,7 +875,15 @@ mod tests {
         )));
         assert_eq!(m.last_ts(key()), 0);
         // A retry can now succeed.
-        let t = publish_token(&m.on_validate(key(), "doc", ReqId(2), 0, patch(), user(1), true));
+        let t = publish_token(&m.on_validate(
+            key(),
+            &DocName::new("doc"),
+            ReqId(2),
+            0,
+            patch(),
+            user(1),
+            true,
+        ));
         let acts = m.publish_done(t, PublishOutcome::Ok);
         assert!(acts
             .iter()
@@ -821,7 +894,15 @@ mod tests {
     fn probe_unknown_key_before_first_grant() {
         let cfg = KtsConfig::default(); // probing on
         let mut m = KtsMaster::new(cfg);
-        let acts = m.on_validate(key(), "doc", ReqId(1), 0, patch(), user(1), true);
+        let acts = m.on_validate(
+            key(),
+            &DocName::new("doc"),
+            ReqId(1),
+            0,
+            patch(),
+            user(1),
+            true,
+        );
         let probe_token = acts
             .iter()
             .find_map(|a| match a {
@@ -846,7 +927,15 @@ mod tests {
         let mut m = KtsMaster::new(cfg_no_probe());
         // Master thinks 0, user proposes 2 (it integrated 2 patches from the
         // log that we never saw — we are a recovered master with lost state).
-        let acts = m.on_validate(key(), "doc", ReqId(1), 2, patch(), user(1), true);
+        let acts = m.on_validate(
+            key(),
+            &DocName::new("doc"),
+            ReqId(1),
+            2,
+            patch(),
+            user(1),
+            true,
+        );
         let probe_token = acts
             .iter()
             .find_map(|a| match a {
@@ -875,7 +964,15 @@ mod tests {
         assert_eq!(m.backup_count(), 1);
         assert_eq!(m.last_ts(key()), 7);
         // First validate after our predecessor died: promote, then serve.
-        let acts = m.on_validate(key(), "doc", ReqId(1), 7, patch(), user(1), true);
+        let acts = m.on_validate(
+            key(),
+            &DocName::new("doc"),
+            ReqId(1),
+            7,
+            patch(),
+            user(1),
+            true,
+        );
         assert!(acts
             .iter()
             .any(|a| matches!(a, MasterAction::Event(MasterEvent::Promoted { .. }))));
@@ -908,7 +1005,15 @@ mod tests {
     #[test]
     fn handoff_roundtrip_preserves_state() {
         let mut a = KtsMaster::new(cfg_no_probe());
-        let t = publish_token(&a.on_validate(key(), "doc", ReqId(1), 0, patch(), user(1), true));
+        let t = publish_token(&a.on_validate(
+            key(),
+            &DocName::new("doc"),
+            ReqId(1),
+            0,
+            patch(),
+            user(1),
+            true,
+        ));
         a.publish_done(t, PublishOutcome::Ok);
         let (entries, _acts) = a.export_all();
         assert_eq!(entries.len(), 1);
@@ -918,7 +1023,15 @@ mod tests {
         b.on_table_handoff(entries);
         assert_eq!(b.last_ts(key()), 1);
         // Continuity across the handoff: next grant is 2.
-        let t = publish_token(&b.on_validate(key(), "doc", ReqId(2), 1, patch(), user(2), true));
+        let t = publish_token(&b.on_validate(
+            key(),
+            &DocName::new("doc"),
+            ReqId(2),
+            1,
+            patch(),
+            user(2),
+            true,
+        ));
         let acts = b.publish_done(t, PublishOutcome::Ok);
         assert!(acts
             .iter()
@@ -931,7 +1044,15 @@ mod tests {
         let k1 = Id(10);
         let k2 = Id(1000);
         for (k, op) in [(k1, 1u64), (k2, 2)] {
-            let t = publish_token(&m.on_validate(k, "d", ReqId(op), 0, patch(), user(1), true));
+            let t = publish_token(&m.on_validate(
+                k,
+                &DocName::new("d"),
+                ReqId(op),
+                0,
+                patch(),
+                user(1),
+                true,
+            ));
             m.publish_done(t, PublishOutcome::Ok);
         }
         let (exported, _) = m.export_range(Id(0), Id(100));
@@ -952,10 +1073,42 @@ mod tests {
         };
         let mut m = KtsMaster::new(cfg);
         // First takes the publish slot; 2 queue; the 4th overflows.
-        let _ = m.on_validate(key(), "doc", ReqId(1), 0, patch(), user(1), true);
-        let _ = m.on_validate(key(), "doc", ReqId(2), 0, patch(), user(2), true);
-        let _ = m.on_validate(key(), "doc", ReqId(3), 0, patch(), user(3), true);
-        let acts = m.on_validate(key(), "doc", ReqId(4), 0, patch(), user(4), true);
+        let _ = m.on_validate(
+            key(),
+            &DocName::new("doc"),
+            ReqId(1),
+            0,
+            patch(),
+            user(1),
+            true,
+        );
+        let _ = m.on_validate(
+            key(),
+            &DocName::new("doc"),
+            ReqId(2),
+            0,
+            patch(),
+            user(2),
+            true,
+        );
+        let _ = m.on_validate(
+            key(),
+            &DocName::new("doc"),
+            ReqId(3),
+            0,
+            patch(),
+            user(3),
+            true,
+        );
+        let acts = m.on_validate(
+            key(),
+            &DocName::new("doc"),
+            ReqId(4),
+            0,
+            patch(),
+            user(4),
+            true,
+        );
         assert!(acts.iter().any(|a| matches!(
             a,
             MasterAction::Send(

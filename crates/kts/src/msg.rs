@@ -3,7 +3,7 @@
 
 use bytes::Bytes;
 
-use chord::{Id, NodeRef};
+use chord::{DocName, Id, NodeRef};
 
 /// Client-operation handle, local to the issuing node (same convention as
 /// `chord::OpId` but a distinct type to keep layers apart).
@@ -41,7 +41,7 @@ pub enum KtsMsg {
         key: Id,
         /// The document name (needed to compute the replication hashes
         /// `h_i(key + ts)` when publishing to the log).
-        key_name: String,
+        key_name: DocName,
         /// The user's current timestamp (last integrated).
         proposed_ts: u64,
         /// Encoded tentative patch.
@@ -102,7 +102,7 @@ pub enum KtsMsg {
         key: Id,
         /// Document name (kept with the backup so a promoted successor can
         /// publish/probe without re-learning it).
-        key_name: String,
+        key_name: DocName,
         /// Backed-up last timestamp.
         last_ts: u64,
         /// Fencing epoch of the entry.
@@ -122,7 +122,7 @@ pub struct HandoffEntry {
     /// The key (`ht(document)`).
     pub key: Id,
     /// Document name.
-    pub key_name: String,
+    pub key_name: DocName,
     /// Last validated timestamp.
     pub last_ts: u64,
     /// Fencing epoch (receiver bumps it).

@@ -4,6 +4,7 @@
 //! timestamps.
 
 use bytes::Bytes;
+use chord::DocName;
 use chord::{Id, NodeRef};
 use kts::{HandoffEntry, KtsConfig, KtsMaster, KtsMsg, MasterAction, PublishOutcome, ReqId};
 use proptest::prelude::*;
@@ -60,7 +61,7 @@ impl World {
     fn validate(&mut self, key: Id, req: u64, proposed: u64, user_n: u32) {
         let acts = self.master.on_validate(
             key,
-            "doc",
+            &DocName::new("doc"),
             ReqId(req),
             proposed,
             Bytes::from_static(b"p"),

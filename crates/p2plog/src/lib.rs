@@ -29,8 +29,9 @@ pub mod publish;
 pub mod record;
 pub mod retrieval;
 
+pub use chord::DocName;
 pub use config::{AckPolicy, LogConfig};
-pub use hashfam::{hr, ht, log_locations};
+pub use hashfam::{hr, ht, log_locations, log_locations_iter, DocHashes};
 pub use index::LogIndex;
 pub use probe::{LogProbe, ProbeCmd};
 pub use publish::{PublishTracker, PublishVerdict, ReplicaResponse};

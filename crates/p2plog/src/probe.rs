@@ -9,7 +9,8 @@
 
 use chord::Id;
 
-use crate::hashfam::hr;
+use crate::hashfam::DocHashes;
+use chord::DocName;
 
 /// One probe the embedder must run (a DHT get; "present" = any bytes).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -34,10 +35,10 @@ enum Phase {
 
 /// Sans-IO probe state machine (one outstanding request at a time; each
 /// timestamp is tested against all `n` replicas before declaring absence).
+/// Probe keys derive from a cached [`DocHashes`] midstate.
 #[derive(Clone, Debug)]
 pub struct LogProbe {
-    doc: String,
-    n: usize,
+    hashes: DocHashes,
     base: u64,
     highest_hit: u64,
     hash_idx: usize,
@@ -46,11 +47,10 @@ pub struct LogProbe {
 
 impl LogProbe {
     /// Probe `doc` starting from known lower bound `base` (usually 0).
-    pub fn new(doc: impl Into<String>, base: u64, n: usize) -> Self {
+    pub fn new(doc: impl Into<DocName>, base: u64, n: usize) -> Self {
         assert!(n >= 1);
         LogProbe {
-            doc: doc.into(),
-            n,
+            hashes: DocHashes::new(doc, n),
             base,
             highest_hit: base,
             hash_idx: 1,
@@ -79,7 +79,7 @@ impl LogProbe {
         Some(ProbeCmd {
             ts,
             hash_idx: self.hash_idx,
-            key: hr(self.hash_idx, &self.doc, ts),
+            key: self.hashes.hr(self.hash_idx, ts),
         })
     }
 
@@ -91,7 +91,7 @@ impl LogProbe {
             Phase::Binary { probing, .. } => probing,
             Phase::Done(_) => return,
         };
-        if !present && self.hash_idx < self.n {
+        if !present && self.hash_idx < self.hashes.n() {
             // Try the next replica before declaring the ts absent.
             self.hash_idx += 1;
             return;

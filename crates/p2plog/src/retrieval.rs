@@ -12,7 +12,8 @@ use bytes::Bytes;
 
 use chord::Id;
 
-use crate::hashfam::hr;
+use crate::hashfam::DocHashes;
+use chord::DocName;
 
 /// A fetch the embedding layer must perform (a DHT get at `key`).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -55,10 +56,13 @@ enum TsState {
 }
 
 /// Sans-IO retrieval state machine for one `(doc, from..=to]` range.
+///
+/// Holds a [`DocHashes`] midstate cache: every fetch in the window derives
+/// its key from the cached per-document SHA-1 state instead of re-hashing
+/// the document name.
 #[derive(Clone, Debug)]
 pub struct Retriever {
-    doc: String,
-    n: usize,
+    hashes: DocHashes,
     window: usize,
     next_emit: u64,
     next_issue: u64,
@@ -70,12 +74,11 @@ pub struct Retriever {
 impl Retriever {
     /// Retrieve timestamps `(from, to]` of `doc` with replication degree
     /// `n`, pipelining up to `window` timestamps.
-    pub fn new(doc: impl Into<String>, from: u64, to: u64, n: usize, window: usize) -> Self {
+    pub fn new(doc: impl Into<DocName>, from: u64, to: u64, n: usize, window: usize) -> Self {
         assert!(from <= to, "empty or inverted range");
         assert!(n >= 1 && window >= 1);
         Retriever {
-            doc: doc.into(),
-            n,
+            hashes: DocHashes::new(doc, n),
             window,
             next_emit: from + 1,
             next_issue: from + 1,
@@ -113,7 +116,7 @@ impl Retriever {
             cmds.push(FetchCmd {
                 ts,
                 hash_idx: 1,
-                key: hr(1, &self.doc, ts),
+                key: self.hashes.hr(1, ts),
             });
             self.next_issue += 1;
         }
@@ -142,13 +145,13 @@ impl Retriever {
                 self.states.insert(ts, TsState::Ready(bytes));
             }
             None => {
-                if hash_idx < self.n {
+                if hash_idx < self.hashes.n() {
                     let next = hash_idx + 1;
                     self.states.insert(ts, TsState::InFlight { hash_idx: next });
                     cmds.push(FetchCmd {
                         ts,
                         hash_idx: next,
-                        key: hr(next, &self.doc, ts),
+                        key: self.hashes.hr(next, ts),
                     });
                 } else {
                     self.states.insert(ts, TsState::Exhausted);
@@ -190,6 +193,7 @@ impl Retriever {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hashfam::hr;
 
     fn b(s: &str) -> Bytes {
         Bytes::copy_from_slice(s.as_bytes())

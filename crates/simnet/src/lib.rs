@@ -52,7 +52,7 @@ pub mod rng;
 pub mod sim;
 pub mod time;
 
-pub use metrics::{Histogram, Metrics, Summary};
+pub use metrics::{CounterId, Histogram, Metrics, Summary};
 pub use net::{LatencyModel, NetConfig};
 pub use process::{Ctx, Process, TimerId};
 pub use rng::{Rng64, Zipf};

@@ -1,19 +1,48 @@
 //! Lightweight metrics registry: counters and raw-sample histograms.
 //!
 //! Experiments run at modest scale (thousands–millions of samples), so
-//! histograms keep raw `f64` samples and compute exact quantiles on demand.
-//! Keys are `String` so protocol layers can build dimensioned names like
-//! `"validate.rtt.n=64"` without a global enum.
+//! histograms keep raw `f64` samples and compute exact quantiles on demand
+//! (amortized through a sorted cache). Counters come in two flavours:
+//!
+//! * **pre-registered handles** ([`CounterId`]): the name is resolved to a
+//!   dense array slot once at setup; each increment is a single indexed
+//!   add. The simulator's per-event counters use these — they fire on
+//!   every message send, delivery and timer, so a by-name map lookup per
+//!   event is a measurable tax.
+//! * **string-keyed** ([`Metrics::incr`]): a thin compatibility layer over
+//!   the same slots, kept for dimensioned experiment metrics like
+//!   `"validate.rtt.n=64"` that are built dynamically and fire rarely.
+//!
+//! Both flavours share one namespace: `incr("x")` and
+//! `incr_id(register_counter("x"))` hit the same slot, and reporting
+//! iterates names in deterministic (sorted) order either way.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::time::Duration;
 
+/// Pre-registered handle to a named counter: increments through it are a
+/// single array-indexed add, no name lookup. Obtain via
+/// [`Metrics::register_counter`]; valid for the registry that issued it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CounterId(u32);
+
+/// Lazily sorted copy of a histogram's samples. `record` only marks it
+/// stale, so a report-time quantile sweep (p50/p95/p99/min/max) costs one
+/// sort total instead of one clone+sort per quantile.
+#[derive(Clone, Debug, Default)]
+struct SortedCache {
+    sorted: Vec<f64>,
+    valid: bool,
+}
+
 /// A histogram over raw samples with exact quantiles.
 #[derive(Clone, Debug, Default)]
 pub struct Histogram {
     samples: Vec<f64>,
+    cache: RefCell<SortedCache>,
 }
 
 impl Histogram {
@@ -21,6 +50,7 @@ impl Histogram {
     #[inline]
     pub fn record(&mut self, v: f64) {
         self.samples.push(v);
+        self.cache.get_mut().valid = false;
     }
 
     /// Number of samples recorded.
@@ -37,15 +67,28 @@ impl Histogram {
         }
     }
 
+    /// Run `f` over the sorted samples, (re)building the cache if stale.
+    fn with_sorted<R>(&self, f: impl FnOnce(&[f64]) -> R) -> R {
+        let mut cache = self.cache.borrow_mut();
+        if !cache.valid {
+            cache.sorted.clone_from(&self.samples);
+            cache
+                .sorted
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            cache.valid = true;
+        }
+        f(&cache.sorted)
+    }
+
     /// Exact quantile by nearest-rank; `q` in `[0,1]`. 0.0 when empty.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.samples.is_empty() {
             return 0.0;
         }
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
-        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-        sorted[rank - 1]
+        self.with_sorted(|sorted| {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[rank - 1]
+        })
     }
 
     /// Minimum sample, or 0.0 when empty.
@@ -53,7 +96,7 @@ impl Histogram {
         if self.samples.is_empty() {
             0.0
         } else {
-            self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+            self.with_sorted(|sorted| sorted[0])
         }
     }
 
@@ -62,14 +105,11 @@ impl Histogram {
         if self.samples.is_empty() {
             0.0
         } else {
-            self.samples
-                .iter()
-                .copied()
-                .fold(f64::NEG_INFINITY, f64::max)
+            self.with_sorted(|sorted| sorted[sorted.len() - 1])
         }
     }
 
-    /// Condensed summary for reports.
+    /// Condensed summary for reports (one sort for all five statistics).
     pub fn summary(&self) -> Summary {
         Summary {
             count: self.count(),
@@ -119,10 +159,13 @@ impl fmt::Display for Summary {
 
 /// Registry of named counters and histograms.
 ///
-/// Uses `BTreeMap` so iteration (reporting) is deterministically ordered.
+/// Counter values live in a dense `Vec` indexed by [`CounterId`]; the
+/// `BTreeMap` maps names to slots, so iteration (reporting) is
+/// deterministically name-ordered regardless of registration order.
 #[derive(Clone, Debug, Default)]
 pub struct Metrics {
-    counters: BTreeMap<String, u64>,
+    counter_ids: BTreeMap<String, CounterId>,
+    counter_vals: Vec<u64>,
     histograms: BTreeMap<String, Histogram>,
 }
 
@@ -132,13 +175,40 @@ impl Metrics {
         Self::default()
     }
 
+    /// Resolve `name` to a counter handle, creating the slot (at zero) if
+    /// new. Idempotent: the same name always yields the same handle.
+    pub fn register_counter(&mut self, name: &str) -> CounterId {
+        if let Some(id) = self.counter_ids.get(name) {
+            return *id;
+        }
+        let id = CounterId(self.counter_vals.len() as u32);
+        self.counter_vals.push(0);
+        self.counter_ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Add `delta` to the counter behind a pre-registered handle.
+    #[inline]
+    pub fn incr_id_by(&mut self, id: CounterId, delta: u64) {
+        self.counter_vals[id.0 as usize] += delta;
+    }
+
+    /// Increment the counter behind a pre-registered handle by one.
+    #[inline]
+    pub fn incr_id(&mut self, id: CounterId) {
+        self.counter_vals[id.0 as usize] += 1;
+    }
+
+    /// Read a counter through its handle.
+    #[inline]
+    pub fn counter_by_id(&self, id: CounterId) -> u64 {
+        self.counter_vals[id.0 as usize]
+    }
+
     /// Add `delta` to the named counter (creating it at zero).
     pub fn incr_by(&mut self, name: &str, delta: u64) {
-        if let Some(c) = self.counters.get_mut(name) {
-            *c += delta;
-        } else {
-            self.counters.insert(name.to_owned(), delta);
-        }
+        let id = self.register_counter(name);
+        self.counter_vals[id.0 as usize] += delta;
     }
 
     /// Increment the named counter by one.
@@ -149,7 +219,10 @@ impl Metrics {
 
     /// Read a counter (0 if never written).
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.counter_ids
+            .get(name)
+            .map(|id| self.counter_vals[id.0 as usize])
+            .unwrap_or(0)
     }
 
     /// Record a raw sample into the named histogram.
@@ -185,7 +258,9 @@ impl Metrics {
 
     /// Iterate counters in name order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+        self.counter_ids
+            .iter()
+            .map(|(k, id)| (k.as_str(), self.counter_vals[id.0 as usize]))
     }
 
     /// Iterate histograms in name order.
@@ -195,8 +270,8 @@ impl Metrics {
 
     /// Merge another registry into this one (used to aggregate runs).
     pub fn merge(&mut self, other: &Metrics) {
-        for (k, v) in &other.counters {
-            self.incr_by(k, *v);
+        for (k, v) in other.counters() {
+            self.incr_by(k, v);
         }
         for (k, h) in &other.histograms {
             for &s in h.samples() {
@@ -220,6 +295,28 @@ mod tests {
     }
 
     #[test]
+    fn handle_and_name_share_one_slot() {
+        let mut m = Metrics::new();
+        let id = m.register_counter("msgs");
+        m.incr_id(id);
+        m.incr("msgs");
+        m.incr_id_by(id, 3);
+        assert_eq!(m.counter("msgs"), 5);
+        assert_eq!(m.counter_by_id(id), 5);
+        // Re-registration returns the same handle.
+        assert_eq!(m.register_counter("msgs"), id);
+    }
+
+    #[test]
+    fn registered_counter_is_visible_at_zero() {
+        let mut m = Metrics::new();
+        m.register_counter("armed");
+        assert_eq!(m.counter("armed"), 0);
+        let names: Vec<&str> = m.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["armed"]);
+    }
+
+    #[test]
     fn histogram_quantiles_exact() {
         let mut h = Histogram::default();
         for v in 1..=100 {
@@ -233,6 +330,20 @@ mod tests {
         assert_eq!(h.quantile(0.0), 1.0);
         assert_eq!(h.min(), 1.0);
         assert_eq!(h.max(), 100.0);
+    }
+
+    #[test]
+    fn sorted_cache_invalidates_on_record() {
+        let mut h = Histogram::default();
+        h.record(5.0);
+        assert_eq!(h.quantile(1.0), 5.0); // builds the cache
+        h.record(9.0); // must invalidate it
+        assert_eq!(h.quantile(1.0), 9.0);
+        assert_eq!(h.min(), 5.0);
+        h.record(1.0);
+        assert_eq!(h.min(), 1.0);
+        // Samples stay in insertion order; only the cache is sorted.
+        assert_eq!(h.samples(), &[5.0, 9.0, 1.0]);
     }
 
     #[test]
@@ -270,5 +381,16 @@ mod tests {
         m.incr("alpha");
         let names: Vec<&str> = m.counters().map(|(k, _)| k).collect();
         assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn clone_preserves_values_and_slots() {
+        let mut m = Metrics::new();
+        let id = m.register_counter("x");
+        m.incr_id(id);
+        let mut c = m.clone();
+        c.incr_id(id); // handle remains valid for the clone
+        assert_eq!(m.counter("x"), 1);
+        assert_eq!(c.counter("x"), 2);
     }
 }

@@ -11,7 +11,7 @@ use std::any::Any;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 
-use crate::metrics::Metrics;
+use crate::metrics::{CounterId, Metrics};
 use crate::net::NetConfig;
 use crate::process::{Ctx, Outbox, Process, TimerId};
 use crate::rng::Rng64;
@@ -88,6 +88,37 @@ struct Slot<M> {
     state: NodeState,
 }
 
+/// Pre-registered handles for the counters the event loop bumps on every
+/// message and timer — resolved to array slots once at construction so the
+/// hot path never does a by-name map lookup.
+struct HotCounters {
+    nodes_added: CounterId,
+    crashes: CounterId,
+    departures: CounterId,
+    msgs_sent: CounterId,
+    msgs_delivered: CounterId,
+    msgs_dropped: CounterId,
+    msgs_to_dead: CounterId,
+    timers_fired: CounterId,
+    timers_cancelled: CounterId,
+}
+
+impl HotCounters {
+    fn register(m: &mut Metrics) -> Self {
+        HotCounters {
+            nodes_added: m.register_counter("sim.nodes_added"),
+            crashes: m.register_counter("sim.crashes"),
+            departures: m.register_counter("sim.departures"),
+            msgs_sent: m.register_counter("sim.msgs_sent"),
+            msgs_delivered: m.register_counter("sim.msgs_delivered"),
+            msgs_dropped: m.register_counter("sim.msgs_dropped"),
+            msgs_to_dead: m.register_counter("sim.msgs_to_dead"),
+            timers_fired: m.register_counter("sim.timers_fired"),
+            timers_cancelled: m.register_counter("sim.timers_cancelled"),
+        }
+    }
+}
+
 /// The simulator. See the crate docs for the execution model.
 pub struct Sim<M> {
     now: Time,
@@ -96,6 +127,8 @@ pub struct Sim<M> {
     nodes: Vec<Slot<M>>,
     rng: Rng64,
     metrics: Metrics,
+    hot: HotCounters,
+    events_processed: u64,
     net: NetConfig,
     timer_seq: u64,
     cancelled: HashSet<TimerId>,
@@ -107,13 +140,17 @@ pub struct Sim<M> {
 impl<M: std::fmt::Debug + 'static> Sim<M> {
     /// Create a simulator with the given RNG seed and network model.
     pub fn new(seed: u64, net: NetConfig) -> Self {
+        let mut metrics = Metrics::new();
+        let hot = HotCounters::register(&mut metrics);
         Sim {
             now: Time::ZERO,
             seq: 0,
             queue: BinaryHeap::new(),
             nodes: Vec::new(),
             rng: Rng64::new(seed),
-            metrics: Metrics::new(),
+            metrics,
+            hot,
+            events_processed: 0,
             net,
             timer_seq: 0,
             cancelled: HashSet::new(),
@@ -133,7 +170,9 @@ impl<M: std::fmt::Debug + 'static> Sim<M> {
         &self.metrics
     }
 
-    /// Shared metrics registry (write, e.g. to pre-register or reset).
+    /// Shared metrics registry (write, e.g. to pre-register or record
+    /// workload-level metrics). Do not replace the registry wholesale: the
+    /// simulator holds pre-registered [`CounterId`] handles into it.
     pub fn metrics_mut(&mut self) -> &mut Metrics {
         &mut self.metrics
     }
@@ -163,6 +202,13 @@ impl<M: std::fmt::Debug + 'static> Sim<M> {
         self.queue.len()
     }
 
+    /// Total events executed so far (deliveries, timers, control actions,
+    /// drops — everything popped by [`Sim::step`]). The perf harness
+    /// divides this by wall-clock time for a sim-events/sec figure.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
     fn next_seq(&mut self) -> u64 {
         self.seq += 1;
         self.seq
@@ -175,7 +221,7 @@ impl<M: std::fmt::Debug + 'static> Sim<M> {
             proc: Some(Box::new(proc)),
             state: NodeState::Up,
         });
-        self.metrics.incr("sim.nodes_added");
+        self.metrics.incr_id(self.hot.nodes_added);
         self.dispatch(id, |p, ctx| p.on_start(ctx));
         id
     }
@@ -219,7 +265,7 @@ impl<M: std::fmt::Debug + 'static> Sim<M> {
         let slot = &mut self.nodes[id.0 as usize];
         if slot.state == NodeState::Up {
             slot.state = NodeState::Crashed;
-            self.metrics.incr("sim.crashes");
+            self.metrics.incr_id(self.hot.crashes);
         }
     }
 
@@ -231,7 +277,7 @@ impl<M: std::fmt::Debug + 'static> Sim<M> {
         }
         self.dispatch_stop(id);
         self.nodes[id.0 as usize].state = NodeState::Departed;
-        self.metrics.incr("sim.departures");
+        self.metrics.incr_id(self.hot.departures);
     }
 
     /// Inject a message "from outside the network" (e.g. a user action).
@@ -306,7 +352,7 @@ impl<M: std::fmt::Debug + 'static> Sim<M> {
 
     fn flush(&mut self, from: NodeId, out: Outbox<M>, allow_timers: bool) {
         for (to, msg) in out.msgs {
-            self.metrics.incr("sim.msgs_sent");
+            self.metrics.incr_id(self.hot.msgs_sent);
             match self.net.route(&mut self.rng, from, to) {
                 Some(delay) => {
                     if self.trace_enabled && self.trace.len() < self.trace_cap {
@@ -324,7 +370,7 @@ impl<M: std::fmt::Debug + 'static> Sim<M> {
                     });
                 }
                 None => {
-                    self.metrics.incr("sim.msgs_dropped");
+                    self.metrics.incr_id(self.hot.msgs_dropped);
                 }
             }
         }
@@ -351,7 +397,7 @@ impl<M: std::fmt::Debug + 'static> Sim<M> {
             let slot = &mut self.nodes[from.0 as usize];
             if slot.state == NodeState::Up {
                 slot.state = NodeState::Departed;
-                self.metrics.incr("sim.departures");
+                self.metrics.incr_id(self.hot.departures);
             }
         }
     }
@@ -365,20 +411,21 @@ impl<M: std::fmt::Debug + 'static> Sim<M> {
         };
         debug_assert!(entry.at >= self.now, "time went backwards");
         self.now = entry.at;
+        self.events_processed += 1;
         match entry.kind {
             EventKind::Deliver { to, from, msg } => {
                 if self.nodes[to.0 as usize].state == NodeState::Up {
-                    self.metrics.incr("sim.msgs_delivered");
+                    self.metrics.incr_id(self.hot.msgs_delivered);
                     self.dispatch(to, |p, ctx| p.on_message(ctx, from, msg));
                 } else {
-                    self.metrics.incr("sim.msgs_to_dead");
+                    self.metrics.incr_id(self.hot.msgs_to_dead);
                 }
             }
             EventKind::Timer { node, id, tag } => {
                 if self.cancelled.remove(&id) {
-                    self.metrics.incr("sim.timers_cancelled");
+                    self.metrics.incr_id(self.hot.timers_cancelled);
                 } else if self.nodes[node.0 as usize].state == NodeState::Up {
-                    self.metrics.incr("sim.timers_fired");
+                    self.metrics.incr_id(self.hot.timers_fired);
                     self.dispatch(node, |p, ctx| p.on_timer(ctx, tag));
                 }
             }

@@ -30,12 +30,17 @@ fn session(seed: u64) -> LtrNet {
     net
 }
 
-/// Serialize the complete metrics state: counters, raw histogram samples
-/// (bit-exact via `f64::to_bits`), and the formatted `Summary` of each
-/// histogram. Any nondeterminism anywhere in the stack shows up here.
+/// Serialize the complete metrics state: counters (both the pre-registered
+/// `CounterId` slots and the string-keyed compatibility layer land in the
+/// same name-ordered iteration), raw histogram samples (bit-exact via
+/// `f64::to_bits`), the formatted `Summary` of each histogram, the event
+/// count, and per-node document state (exercising the interned `DocName`
+/// paths: open-doc listing, timestamps, grant records). Any nondeterminism
+/// anywhere in the stack shows up here.
 fn metrics_dump(net: &LtrNet) -> String {
     let m = net.sim.metrics();
     let mut out = String::new();
+    writeln!(out, "events_processed = {}", net.sim.events_processed()).unwrap();
     for (name, v) in m.counters() {
         writeln!(out, "counter {name} = {v}").unwrap();
     }
@@ -48,6 +53,22 @@ fn metrics_dump(net: &LtrNet) -> String {
             h.count()
         )
         .unwrap();
+    }
+    for p in &net.peers {
+        let node = net.node(*p);
+        for doc in node.open_docs() {
+            writeln!(
+                out,
+                "node {} doc {doc} ts={} busy={}",
+                p.addr,
+                node.doc_ts(&doc).unwrap_or(0),
+                node.is_busy(&doc)
+            )
+            .unwrap();
+        }
+        for (doc, ts) in node.grants() {
+            writeln!(out, "node {} granted {doc}@{ts}", p.addr).unwrap();
+        }
     }
     out
 }
@@ -62,6 +83,12 @@ fn same_seed_produces_byte_identical_metrics() {
     let dump_a = metrics_dump(&a);
     let dump_b = metrics_dump(&b);
     assert!(!dump_a.is_empty(), "expected a populated metrics registry");
+    // The dump must cover both counter flavours (pre-registered sim.*
+    // handles and string-keyed protocol counters) and the DocName paths.
+    assert!(dump_a.contains("counter sim.msgs_delivered"));
+    assert!(dump_a.contains("counter ltr.publish_ok"));
+    assert!(dump_a.contains(&format!("doc {DOC}")));
+    assert!(dump_a.contains(&format!("granted {DOC}@")));
     if dump_a != dump_b {
         // Point at the first diverging line for a readable failure.
         for (la, lb) in dump_a.lines().zip(dump_b.lines()) {
