@@ -16,7 +16,7 @@
 use ltr_bench::{fmt_latency, print_table, settled_net};
 use p2p_ltr::baseline::{BaseCmd, BaseMsg, BaselineUser, Coordinator};
 use p2p_ltr::{check_continuity, LtrConfig};
-use simnet::{Duration, NetConfig, NodeId, NodeState, Rng64, Sim, Time, Zipf};
+use simnet::{CounterId, Duration, NetConfig, NodeId, NodeState, Rng64, Sim, Time, Zipf};
 use workload::{drive_editors, mutate_text, EditMix, EditorSpec};
 
 const EDITORS: usize = 12;
@@ -39,6 +39,7 @@ fn drive_base_editors(
     for (i, &u) in users.iter().enumerate() {
         let rng = seeder.fork();
         let docs = docs.to_vec();
+        let issued = sim.metrics_mut().register_counter("workload.edits_issued");
         schedule_base_step(
             sim,
             sim.now() + mean_think / 2,
@@ -49,6 +50,7 @@ fn drive_base_editors(
             horizon,
             rng,
             0,
+            issued,
         );
     }
 }
@@ -64,6 +66,7 @@ fn schedule_base_step(
     horizon: Time,
     mut rng: Rng64,
     counter: u64,
+    issued: CounterId,
 ) {
     if at > horizon {
         return;
@@ -87,7 +90,7 @@ fn schedule_base_step(
                 });
                 if let Some(new_text) = edit {
                     s.send_external(user, BaseMsg::Cmd(BaseCmd::Edit { doc, new_text }));
-                    s.metrics_mut().incr("workload.edits_issued");
+                    s.metrics_mut().incr_id(issued);
                 }
             }
             let gap =
@@ -103,6 +106,7 @@ fn schedule_base_step(
                 horizon,
                 rng,
                 counter + 1,
+                issued,
             );
         }),
     );

@@ -16,14 +16,22 @@
 //! JSON fields per scenario: `ops` (validated publishes) and `ops_per_sec`,
 //! `msgs`/`msgs_per_sec` (simnet messages sent), `events`/`events_per_sec`
 //! (simulator events executed), `stamp_p50_ms`/`stamp_p99_ms` (end-to-end
-//! save→ack latency in **simulated** milliseconds), `wall_ms`, and the
+//! save→ack latency in **simulated** milliseconds), `wall_ms`,
+//! `wire_bytes` (total bytes-on-wire through the real binary codec, frame
+//! overhead included) with a `wire_bytes_per_class` breakdown, and the
 //! correctness oracles (`continuity`, `converged`) — a perf number from a
 //! broken run is worthless.
+//!
+//! Every scenario runs with wire accounting on (purely observational);
+//! the `*_bw*` scenario additionally sets `NetConfig::bandwidth`, so the
+//! simulator charges per-message serialization delay from the actual
+//! encoded sizes — the bandwidth-constrained workload the sim could not
+//! previously express.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use ltr_bench::settled_net;
+use ltr_bench::settled_net_with;
 use p2p_ltr::{check_continuity, check_convergence, LtrConfig};
 use simnet::{Duration, NetConfig};
 use workload::{drive_editors, EditMix, EditorSpec};
@@ -38,6 +46,8 @@ struct Scenario {
     docs: usize,
     /// Editor workload horizon, simulated seconds.
     drive_secs: u64,
+    /// Per-link bandwidth in bytes/sec (None = unlimited, the default).
+    bandwidth: Option<u64>,
 }
 
 struct Outcome {
@@ -52,6 +62,9 @@ struct Outcome {
     events: u64,
     stamp_p50_ms: f64,
     stamp_p99_ms: f64,
+    wire_bytes: u64,
+    /// `(class, bytes)` in descending byte order.
+    wire_classes: Vec<(String, u64)>,
     continuity: bool,
     converged: bool,
 }
@@ -66,6 +79,7 @@ fn scenario_matrix(quick: bool) -> Vec<Scenario> {
             editors: 3,
             docs: 4,
             drive_secs: 8,
+            bandwidth: None,
         }];
     }
     vec![
@@ -77,6 +91,7 @@ fn scenario_matrix(quick: bool) -> Vec<Scenario> {
             editors: 4,
             docs: 8,
             drive_secs: 20,
+            bandwidth: None,
         },
         Scenario {
             name: "ring16_n3_collab",
@@ -86,6 +101,7 @@ fn scenario_matrix(quick: bool) -> Vec<Scenario> {
             editors: 4,
             docs: 8,
             drive_secs: 20,
+            bandwidth: None,
         },
         Scenario {
             name: "ring48_n3_collab",
@@ -95,6 +111,7 @@ fn scenario_matrix(quick: bool) -> Vec<Scenario> {
             editors: 8,
             docs: 16,
             drive_secs: 20,
+            bandwidth: None,
         },
         Scenario {
             name: "ring16_n3_syncheavy",
@@ -104,6 +121,20 @@ fn scenario_matrix(quick: bool) -> Vec<Scenario> {
             editors: 2,
             docs: 8,
             drive_secs: 20,
+            bandwidth: None,
+        },
+        // Bandwidth-constrained: 256 kB/s per link, so every message pays
+        // its encoded size as serialization delay (a ~300-byte frame costs
+        // ~1.2 ms per hop on top of the LAN latency).
+        Scenario {
+            name: "ring16_n3_collab_bw256k",
+            peers: 16,
+            replication: 3,
+            workload: "collab",
+            editors: 4,
+            docs: 8,
+            drive_secs: 20,
+            bandwidth: Some(256 * 1024),
         },
     ]
 }
@@ -118,7 +149,9 @@ fn run_scenario(sc: &Scenario, seed: u64) -> Outcome {
     }
 
     let wall = Instant::now();
-    let mut net = settled_net(seed, NetConfig::lan(), sc.peers, cfg);
+    let mut lan = NetConfig::lan();
+    lan.bandwidth = sc.bandwidth;
+    let mut net = settled_net_with(seed, lan, sc.peers, cfg, |net| net.enable_wire_accounting());
     let t0 = net.now();
     let peers = net.peers.clone();
     let docs: Vec<String> = (0..sc.docs).map(|d| format!("perf/doc-{d}")).collect();
@@ -146,6 +179,15 @@ fn run_scenario(sc: &Scenario, seed: u64) -> Outcome {
 
     let m = net.sim.metrics();
     let stamp = m.summary("ltr.publish_latency_ms");
+    let mut wire_classes: Vec<(String, u64)> = m
+        .counters()
+        .filter_map(|(k, v)| {
+            k.strip_prefix("wire.bytes.")
+                .filter(|c| *c != "total")
+                .map(|c| (c.to_string(), v))
+        })
+        .collect();
+    wire_classes.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     let cont = check_continuity(&net.sim);
     let conv = check_convergence(&net.sim);
     Outcome {
@@ -160,6 +202,8 @@ fn run_scenario(sc: &Scenario, seed: u64) -> Outcome {
         events: net.sim.events_processed(),
         stamp_p50_ms: stamp.p50,
         stamp_p99_ms: stamp.p99,
+        wire_bytes: m.counter("wire.bytes.total"),
+        wire_classes,
         continuity: cont.is_clean(),
         converged: conv.is_converged(),
     }
@@ -193,6 +237,7 @@ fn render_json(quick: bool, outcomes: &[Outcome]) -> String {
              \"msgs\": {}, \"msgs_per_sec\": {:.1}, \
              \"events\": {}, \"events_per_sec\": {:.1}, \
              \"stamp_p50_ms\": {:.3}, \"stamp_p99_ms\": {:.3}, \
+             \"wire_bytes\": {}, \"wire_bytes_per_class\": {{{}}}, \
              \"continuity\": {}, \"converged\": {}}}{}\n",
             json_escape(&o.name),
             o.peers,
@@ -208,6 +253,12 @@ fn render_json(quick: bool, outcomes: &[Outcome]) -> String {
             per_sec(o.events, o.wall_ms),
             o.stamp_p50_ms,
             o.stamp_p99_ms,
+            o.wire_bytes,
+            o.wire_classes
+                .iter()
+                .map(|(c, b)| format!("\"{}\": {}", json_escape(c), b))
+                .collect::<Vec<_>>()
+                .join(", "),
             o.continuity,
             o.converged,
             comma,
@@ -218,10 +269,12 @@ fn render_json(quick: bool, outcomes: &[Outcome]) -> String {
     let events: u64 = outcomes.iter().map(|o| o.events).sum();
     let msgs: u64 = outcomes.iter().map(|o| o.msgs).sum();
     let ops: u64 = outcomes.iter().map(|o| o.ops).sum();
+    let wire_bytes: u64 = outcomes.iter().map(|o| o.wire_bytes).sum();
     let _ = write!(
         out,
         "  \"totals\": {{\"wall_ms\": {:.1}, \"ops\": {}, \"ops_per_sec\": {:.1}, \
-         \"msgs\": {}, \"msgs_per_sec\": {:.1}, \"events\": {}, \"events_per_sec\": {:.1}}}\n",
+         \"msgs\": {}, \"msgs_per_sec\": {:.1}, \"events\": {}, \"events_per_sec\": {:.1}, \
+         \"wire_bytes\": {}}}\n",
         wall,
         ops,
         per_sec(ops, wall),
@@ -229,6 +282,7 @@ fn render_json(quick: bool, outcomes: &[Outcome]) -> String {
         per_sec(msgs, wall),
         events,
         per_sec(events, wall),
+        wire_bytes,
     );
     out.push_str("}\n");
     out
@@ -251,7 +305,7 @@ fn main() {
         let o = run_scenario(sc, 0xBEAC_0000 + i as u64);
         println!(
             "{:<24} wall {:>8.1} ms | {:>7.0} events/s | {:>6.0} msgs/s | {:>5.0} ops/s | \
-             stamp p50/p99 {:.1}/{:.1} ms | continuity={} converged={}",
+             stamp p50/p99 {:.1}/{:.1} ms | {:>6.2} MB wire | continuity={} converged={}",
             o.name,
             o.wall_ms,
             per_sec(o.events, o.wall_ms),
@@ -259,6 +313,7 @@ fn main() {
             per_sec(o.ops, o.wall_ms),
             o.stamp_p50_ms,
             o.stamp_p99_ms,
+            o.wire_bytes as f64 / 1e6,
             o.continuity,
             o.converged,
         );

@@ -8,7 +8,21 @@ use simnet::{Duration, NetConfig, Summary};
 
 /// Build a network and let the ring stabilize.
 pub fn settled_net(seed: u64, net_cfg: NetConfig, peers: usize, cfg: LtrConfig) -> LtrNet {
+    settled_net_with(seed, net_cfg, peers, cfg, |_| {})
+}
+
+/// [`settled_net`] with a configuration hook that runs *before* the ring
+/// settles (e.g. `|net| net.enable_wire_accounting()` so stabilization
+/// traffic is metered too).
+pub fn settled_net_with(
+    seed: u64,
+    net_cfg: NetConfig,
+    peers: usize,
+    cfg: LtrConfig,
+    configure: impl FnOnce(&mut LtrNet),
+) -> LtrNet {
     let mut net = LtrNet::build(seed, net_cfg, peers, cfg, Duration::from_millis(150));
+    configure(&mut net);
     // Stabilization horizon grows slowly with network size.
     let secs = 20 + (peers as u64) / 4;
     net.settle(secs);

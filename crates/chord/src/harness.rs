@@ -13,7 +13,7 @@ use crate::events::{Action, ChordEvent, ChordTimer};
 use crate::id::Id;
 use crate::msg::{ChordMsg, NodeRef, OpId, PutMode};
 use crate::node::ChordNode;
-use simnet::{Ctx, Duration, NodeId, Process, Time};
+use simnet::{CounterId, Ctx, Duration, Metrics, NodeId, Process, Time};
 
 /// Timer tag for a deferred ring join (outside the `ChordTimer` space).
 const START_TAG: u64 = 5;
@@ -51,12 +51,39 @@ pub struct Completion {
     pub event: ChordEvent,
 }
 
+/// Pre-registered handles for the per-completion counters — resolved once
+/// at `on_start` so the completion path never does a by-name lookup.
+#[derive(Clone, Copy)]
+struct DriverCounters {
+    lookups_ok: CounterId,
+    lookups_failed: CounterId,
+    puts_ok: CounterId,
+    puts_failed: CounterId,
+    gets_ok: CounterId,
+    gets_failed: CounterId,
+}
+
+impl DriverCounters {
+    fn register(m: &mut Metrics) -> Self {
+        DriverCounters {
+            lookups_ok: m.register_counter("chord.lookups_ok"),
+            lookups_failed: m.register_counter("chord.lookups_failed"),
+            puts_ok: m.register_counter("chord.puts_ok"),
+            puts_failed: m.register_counter("chord.puts_failed"),
+            gets_ok: m.register_counter("chord.gets_ok"),
+            gets_failed: m.register_counter("chord.gets_failed"),
+        }
+    }
+}
+
 /// Simulator process wrapping one Chord node.
 pub struct ChordDriver {
     /// The wrapped state machine (public for post-run inspection).
     pub node: ChordNode,
     bootstrap: Option<NodeRef>,
     start_delay: Duration,
+    /// Counter handles; registered on the first upcall (`on_start`).
+    counters: Option<DriverCounters>,
     /// Every upcall event, in order.
     pub events: Vec<ChordEvent>,
     /// Completed client operations.
@@ -81,6 +108,7 @@ impl ChordDriver {
             node: ChordNode::new(me, cfg),
             bootstrap,
             start_delay,
+            counters: None,
             events: Vec::new(),
             completions: Vec::new(),
         }
@@ -88,6 +116,14 @@ impl ChordDriver {
 
     fn apply(&mut self, ctx: &mut Ctx<'_, DriverMsg>, actions: Vec<Action>) {
         let now = ctx.now();
+        let counters = match self.counters {
+            Some(c) => c,
+            None => {
+                let c = DriverCounters::register(ctx.metrics());
+                self.counters = Some(c);
+                c
+            }
+        };
         for act in actions {
             match act {
                 Action::Send(to, msg) => ctx.send(to, DriverMsg::Chord(msg)),
@@ -97,7 +133,7 @@ impl ChordDriver {
                 Action::Event(ev) => {
                     match &ev {
                         ChordEvent::LookupDone { op, hops, .. } => {
-                            ctx.metrics().incr("chord.lookups_ok");
+                            ctx.metrics().incr_id(counters.lookups_ok);
                             ctx.metrics().record("chord.lookup_hops", *hops as f64);
                             self.completions.push(Completion {
                                 op: *op,
@@ -106,7 +142,7 @@ impl ChordDriver {
                             });
                         }
                         ChordEvent::LookupFailed { op } => {
-                            ctx.metrics().incr("chord.lookups_failed");
+                            ctx.metrics().incr_id(counters.lookups_failed);
                             self.completions.push(Completion {
                                 op: *op,
                                 at: now,
@@ -114,10 +150,10 @@ impl ChordDriver {
                             });
                         }
                         ChordEvent::PutDone { op, ok, .. } => {
-                            ctx.metrics().incr(if *ok {
-                                "chord.puts_ok"
+                            ctx.metrics().incr_id(if *ok {
+                                counters.puts_ok
                             } else {
-                                "chord.puts_failed"
+                                counters.puts_failed
                             });
                             self.completions.push(Completion {
                                 op: *op,
@@ -126,10 +162,10 @@ impl ChordDriver {
                             });
                         }
                         ChordEvent::GetDone { op, ok, .. } => {
-                            ctx.metrics().incr(if *ok {
-                                "chord.gets_ok"
+                            ctx.metrics().incr_id(if *ok {
+                                counters.gets_ok
                             } else {
-                                "chord.gets_failed"
+                                counters.gets_failed
                             });
                             self.completions.push(Completion {
                                 op: *op,

@@ -16,7 +16,7 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 use bytes::Bytes;
 
 use ot::Document;
-use simnet::{Ctx, Duration, NodeId, Process, Time};
+use simnet::{CounterId, Ctx, Duration, Metrics, NodeId, Process, Time};
 
 /// Messages of the centralized system.
 #[derive(Clone, Debug)]
@@ -122,6 +122,8 @@ pub enum BaseCmd {
 pub struct Coordinator {
     /// Per-request service time (single-threaded processing cost).
     service_time: Duration,
+    /// Pre-registered grant counter (filled on first use).
+    grants: Option<CounterId>,
     /// Per-document logs: `log[doc][i]` holds the patch with ts `i+1`.
     logs: HashMap<String, Vec<Bytes>>,
     queue: VecDeque<BaseMsg>,
@@ -133,6 +135,7 @@ impl Coordinator {
     pub fn new(service_time: Duration) -> Self {
         Coordinator {
             service_time,
+            grants: None,
             logs: HashMap::new(),
             queue: VecDeque::new(),
             busy: false,
@@ -162,7 +165,10 @@ impl Coordinator {
                 let last = log.len() as u64;
                 if last == proposed_ts {
                     log.push(patch);
-                    ctx.metrics().incr("base.grants");
+                    let grants = *self
+                        .grants
+                        .get_or_insert_with(|| ctx.metrics().register_counter("base.grants"));
+                    ctx.metrics().incr_id(grants);
                     ctx.send(user, BaseMsg::Granted { op, ts: last + 1 });
                 } else {
                     ctx.send(user, BaseMsg::Retry { op, last_ts: last });
@@ -243,6 +249,29 @@ struct BaseDoc {
     cycle_started: Option<Time>,
 }
 
+/// Pre-registered counter handles of the baseline user (same metrics
+/// discipline as `LtrNode`: no by-name lookups on the message path).
+#[derive(Clone, Copy)]
+struct BaseCounters {
+    validate_sent: CounterId,
+    edits: CounterId,
+    publish_ok: CounterId,
+    integrated: CounterId,
+    validate_timeout: CounterId,
+}
+
+impl BaseCounters {
+    fn register(m: &mut Metrics) -> Self {
+        BaseCounters {
+            validate_sent: m.register_counter("base.validate_sent"),
+            edits: m.register_counter("base.edits"),
+            publish_ok: m.register_counter("base.publish_ok"),
+            integrated: m.register_counter("base.integrated"),
+            validate_timeout: m.register_counter("base.validate_timeout"),
+        }
+    }
+}
+
 /// A user peer of the centralized system.
 pub struct BaselineUser {
     site: u64,
@@ -256,6 +285,8 @@ pub struct BaselineUser {
     sync_every: Option<Duration>,
     /// Publishes acknowledged (for throughput accounting).
     pub published: u64,
+    /// Counter handles; registered on first use.
+    counters: Option<BaseCounters>,
 }
 
 /// Timer tags for the baseline user.
@@ -282,6 +313,19 @@ impl BaselineUser {
             validate_timeout,
             sync_every,
             published: 0,
+            counters: None,
+        }
+    }
+
+    /// The counter handles, registering them on first use.
+    fn c(&mut self, m: &mut Metrics) -> BaseCounters {
+        match self.counters {
+            Some(c) => c,
+            None => {
+                let c = BaseCounters::register(m);
+                self.counters = Some(c);
+                c
+            }
         }
     }
 
@@ -336,7 +380,8 @@ impl BaselineUser {
             },
         );
         ctx.set_timer(timeout, timeout_tag(op));
-        ctx.metrics().incr("base.validate_sent");
+        let c = self.c(ctx.metrics());
+        ctx.metrics().incr_id(c.validate_sent);
     }
 
     fn resume(&mut self, ctx: &mut Ctx<'_, BaseMsg>, doc: &str) {
@@ -365,11 +410,12 @@ impl BaselineUser {
             }
             BaseCmd::Edit { doc, new_text } => {
                 let now = ctx.now();
+                let c = self.c(ctx.metrics());
                 let state = match self.docs.get_mut(&doc) {
                     Some(s) => s,
                     None => return,
                 };
-                ctx.metrics().incr("base.edits");
+                ctx.metrics().incr_id(c.edits);
                 let target = Document::from_text(&new_text);
                 if state.phase == Phase::Idle {
                     if state
@@ -420,6 +466,7 @@ impl Process<BaseMsg> for BaselineUser {
                     None => return,
                 };
                 let now = ctx.now();
+                let c = self.c(ctx.metrics());
                 let state = self.docs.get_mut(&doc).expect("doc open");
                 if state.phase != Phase::Validating || ts != state.replica.ts + 1 {
                     return;
@@ -435,7 +482,7 @@ impl Process<BaseMsg> for BaselineUser {
                     ctx.metrics()
                         .record("base.publish_latency_ms", now.since(t0).as_millis_f64());
                 }
-                ctx.metrics().incr("base.publish_ok");
+                ctx.metrics().incr_id(c.publish_ok);
                 self.resume(ctx, &doc);
             }
             BaseMsg::Retry { op, last_ts } => {
@@ -467,6 +514,7 @@ impl Process<BaseMsg> for BaselineUser {
                     Some(d) => d,
                     None => return,
                 };
+                let c = self.c(ctx.metrics());
                 let state = self.docs.get_mut(&doc).expect("doc open");
                 if state.phase != Phase::Fetching && state.phase != Phase::Idle {
                     return;
@@ -495,7 +543,7 @@ impl Process<BaseMsg> for BaselineUser {
                         .replica
                         .integrate_remote(*ts, &patch)
                         .expect("baseline integration");
-                    ctx.metrics().incr("base.integrated");
+                    ctx.metrics().incr_id(c.integrated);
                 }
                 state.phase = Phase::Idle;
                 self.resume(ctx, &doc);
@@ -543,7 +591,8 @@ impl Process<BaseMsg> for BaselineUser {
             if let Some(doc) = self.ops.remove(&op) {
                 // Coordinator unresponsive (crashed?): retry while it is
                 // down; count the outage.
-                ctx.metrics().incr("base.validate_timeout");
+                let c = self.c(ctx.metrics());
+                ctx.metrics().incr_id(c.validate_timeout);
                 let state = self.docs.get_mut(&doc).expect("doc open");
                 if state.phase == Phase::Validating
                     && state.inflight.as_ref().is_some_and(|(o, _)| *o == op)

@@ -45,6 +45,20 @@ impl LtrNet {
         LtrNet { sim, peers, cfg }
     }
 
+    /// Turn on wire accounting: every message is sized through the real
+    /// binary codec (frame overhead included) and counted into
+    /// `wire.bytes.total` / `wire.bytes.<class>`. With
+    /// [`NetConfig::bandwidth`] set, per-message latency additionally
+    /// charges the encoded size; without it (the default) behaviour is
+    /// unchanged — metering only observes.
+    pub fn enable_wire_accounting(&mut self) {
+        self.sim
+            .set_wire_meter(Box::new(|p: &Payload| simnet::MsgMeta {
+                bytes: wire::frame_len(p),
+                class: p.wire_class(),
+            }));
+    }
+
     /// Add one more peer now (joins immediately via the first peer).
     pub fn add_peer(&mut self, name: &str) -> NodeRef {
         let id = Id::hash(name.as_bytes());

@@ -66,6 +66,7 @@ pub mod node_master;
 pub mod node_user;
 pub mod payload;
 pub mod report;
+pub mod wire_impls;
 
 pub use config::{GcConfig, LtrConfig};
 pub use consistency::{check_continuity, check_convergence, check_total_order};

@@ -18,7 +18,7 @@ use bytes::Bytes;
 use chord::{ChordNode, ChordTimer, NodeRef, OpId};
 use kts::{KtsMaster, ReqId};
 use p2plog::{DocName, LogProbe, PublishTracker, Retriever};
-use simnet::{Ctx, Duration, NodeId, Process, Time};
+use simnet::{CounterId, Ctx, Duration, Metrics, NodeId, Process, Time};
 
 use crate::config::LtrConfig;
 use crate::events::{LtrEvent, LtrEventKind};
@@ -121,6 +121,83 @@ pub(crate) enum CoreTimer {
     RetryDoc { doc: DocName },
 }
 
+/// Pre-registered handles for every fixed-name counter the node bumps —
+/// resolved to dense array slots once at `on_start`, so the message and
+/// event hot paths never do a by-name map lookup. (Histograms stay
+/// string-keyed: they fire orders of magnitude less often.)
+#[derive(Clone, Copy)]
+pub(crate) struct NodeCounters {
+    pub joined: CounterId,
+    pub join_failed: CounterId,
+    pub lookup_failed: CounterId,
+    pub keys_received: CounterId,
+    pub handoff_entries: CounterId,
+    pub docs_opened: CounterId,
+    pub edits: CounterId,
+    pub validate_sent: CounterId,
+    pub publish_ok: CounterId,
+    pub validate_retry: CounterId,
+    pub validate_redirect: CounterId,
+    pub validate_failed: CounterId,
+    pub validate_timeout: CounterId,
+    pub cycle_backoff: CounterId,
+    pub retrievals: CounterId,
+    pub retrieval_stalled: CounterId,
+    pub record_decode_error: CounterId,
+    pub own_record_recovered: CounterId,
+    pub integrated: CounterId,
+    pub integrate_error: CounterId,
+    pub fetch_fallbacks: CounterId,
+    pub kts_validate_received: CounterId,
+    pub kts_backup_entries_received: CounterId,
+    pub kts_grants: CounterId,
+    pub kts_stale_detected: CounterId,
+    pub kts_backups_promoted: CounterId,
+    pub kts_entries_handed_off: CounterId,
+    pub kts_entries_handoff_received: CounterId,
+    pub kts_probes_started: CounterId,
+    pub log_publishes: CounterId,
+    pub log_gc_removed: CounterId,
+}
+
+impl NodeCounters {
+    fn register(m: &mut Metrics) -> Self {
+        NodeCounters {
+            joined: m.register_counter("ltr.joined"),
+            join_failed: m.register_counter("ltr.join_failed"),
+            lookup_failed: m.register_counter("ltr.lookup_failed"),
+            keys_received: m.register_counter("chord.keys_received"),
+            handoff_entries: m.register_counter("kts.handoff_entries"),
+            docs_opened: m.register_counter("ltr.docs_opened"),
+            edits: m.register_counter("ltr.edits"),
+            validate_sent: m.register_counter("ltr.validate_sent"),
+            publish_ok: m.register_counter("ltr.publish_ok"),
+            validate_retry: m.register_counter("ltr.validate_retry"),
+            validate_redirect: m.register_counter("ltr.validate_redirect"),
+            validate_failed: m.register_counter("ltr.validate_failed"),
+            validate_timeout: m.register_counter("ltr.validate_timeout"),
+            cycle_backoff: m.register_counter("ltr.cycle_backoff"),
+            retrievals: m.register_counter("ltr.retrievals"),
+            retrieval_stalled: m.register_counter("ltr.retrieval_stalled"),
+            record_decode_error: m.register_counter("ltr.record_decode_error"),
+            own_record_recovered: m.register_counter("ltr.own_record_recovered"),
+            integrated: m.register_counter("ltr.integrated"),
+            integrate_error: m.register_counter("ltr.integrate_error"),
+            fetch_fallbacks: m.register_counter("ltr.fetch_fallbacks"),
+            kts_validate_received: m.register_counter("kts.validate_received"),
+            kts_backup_entries_received: m.register_counter("kts.backup_entries_received"),
+            kts_grants: m.register_counter("kts.grants"),
+            kts_stale_detected: m.register_counter("kts.stale_detected"),
+            kts_backups_promoted: m.register_counter("kts.backups_promoted"),
+            kts_entries_handed_off: m.register_counter("kts.entries_handed_off"),
+            kts_entries_handoff_received: m.register_counter("kts.entries_handoff_received"),
+            kts_probes_started: m.register_counter("kts.probes_started"),
+            log_publishes: m.register_counter("log.publishes"),
+            log_gc_removed: m.register_counter("log.gc_removed"),
+        }
+    }
+}
+
 /// A full P2P-LTR peer as a simulator process.
 pub struct LtrNode {
     pub(crate) me: NodeRef,
@@ -147,6 +224,8 @@ pub struct LtrNode {
 
     pub(crate) timer_tags: HashMap<u64, CoreTimer>,
     pub(crate) tag_seq: u64,
+    /// Counter handles; registered on the first upcall (`on_start`).
+    pub(crate) counters: Option<NodeCounters>,
 
     /// Everything notable that happened here (oracle input).
     pub events: Vec<LtrEvent>,
@@ -180,6 +259,7 @@ impl LtrNode {
             probes: HashMap::new(),
             timer_tags: HashMap::new(),
             tag_seq: 0,
+            counters: None,
             events: Vec::new(),
         }
     }
@@ -256,6 +336,13 @@ impl LtrNode {
 
     pub(crate) fn record(&mut self, at: Time, kind: LtrEventKind) {
         self.events.push(LtrEvent { at, kind });
+    }
+
+    /// The pre-registered counter handles (filled in by `on_start`, which
+    /// always runs before any message or timer can reach the node).
+    #[inline]
+    pub(crate) fn c(&self) -> NodeCounters {
+        self.counters.expect("counters registered in on_start")
     }
 
     /// Arm a core-layer timer (odd tags; chord uses even tags).
@@ -344,6 +431,7 @@ impl LtrNode {
 
 impl Process<Payload> for LtrNode {
     fn on_start(&mut self, ctx: &mut Ctx<'_, Payload>) {
+        self.counters = Some(NodeCounters::register(ctx.metrics()));
         if self.start_delay.is_zero() {
             self.start_network(ctx);
         } else {

@@ -32,10 +32,10 @@ impl LtrNode {
     fn on_chord_event(&mut self, ctx: &mut Ctx<'_, Payload>, ev: ChordEvent) {
         match ev {
             ChordEvent::Joined => {
-                ctx.metrics().incr("ltr.joined");
+                ctx.metrics().incr_id(self.c().joined);
             }
             ChordEvent::JoinFailed => {
-                ctx.metrics().incr("ltr.join_failed");
+                ctx.metrics().incr_id(self.c().join_failed);
             }
             ChordEvent::LookupDone { op, owner, hops } => {
                 ctx.metrics().record("chord.lookup_hops", hops as f64);
@@ -54,7 +54,7 @@ impl LtrNode {
                 }
             }
             ChordEvent::LookupFailed { op } => {
-                ctx.metrics().incr("ltr.lookup_failed");
+                ctx.metrics().incr_id(self.c().lookup_failed);
                 match self.chord_ops.remove(&op) {
                     Some(OpPurpose::MasterLookup { doc }) => self.backoff_doc(ctx, &doc),
                     Some(OpPurpose::SyncLookup { .. }) => {} // next tick retries
@@ -104,12 +104,14 @@ impl LtrNode {
                             Payload::Kts(kts::KtsMsg::TableHandoff { entries }),
                         );
                         self.record(ctx.now(), LtrEventKind::TableHandedOff { count });
-                        ctx.metrics().incr_by("kts.handoff_entries", count as u64);
+                        ctx.metrics()
+                            .incr_id_by(self.c().handoff_entries, count as u64);
                     }
                 }
             }
             ChordEvent::KeysReceived { count } => {
-                ctx.metrics().incr_by("chord.keys_received", count as u64);
+                ctx.metrics()
+                    .incr_id_by(self.c().keys_received, count as u64);
             }
         }
     }
@@ -170,7 +172,8 @@ impl LtrNode {
             }
         }
         if removed > 0 {
-            ctx.metrics().incr_by("log.gc_removed", removed as u64);
+            ctx.metrics()
+                .incr_id_by(self.c().log_gc_removed, removed as u64);
             self.record(ctx.now(), LtrEventKind::GcSwept { removed });
         }
     }
@@ -199,7 +202,7 @@ impl LtrNode {
     ) {
         if hash_idx > 1 {
             // Falling back to an alternate replication hash (h2, h3, …).
-            ctx.metrics().incr("ltr.fetch_fallbacks");
+            ctx.metrics().incr_id(self.c().fetch_fallbacks);
         }
         let (op, actions) = self.chord.get(ctx.now(), key);
         self.chord_ops.insert(

@@ -22,7 +22,7 @@ impl LtrNode {
                 user,
             } => {
                 let responsible = self.chord.is_responsible(key);
-                ctx.metrics().incr("kts.validate_received");
+                ctx.metrics().incr_id(self.c().kts_validate_received);
                 let acts =
                     self.kts
                         .on_validate(key, &key_name, op, proposed_ts, patch, user, responsible);
@@ -44,7 +44,7 @@ impl LtrNode {
                     last_ts,
                     epoch,
                 });
-                ctx.metrics().incr("kts.backup_entries_received");
+                ctx.metrics().incr_id(self.c().kts_backup_entries_received);
             }
             KtsMsg::TableHandoff { entries } => {
                 let count = entries.len();
@@ -92,7 +92,7 @@ impl LtrNode {
                 } => {
                     let probe = LogProbe::new(key_name, 0, self.cfg.log.replication);
                     self.probes.insert(token, ProbeCtx { probe });
-                    ctx.metrics().incr("kts.probes_started");
+                    ctx.metrics().incr_id(self.c().kts_probes_started);
                     self.pump_probe(ctx, token);
                 }
                 MasterAction::ReplicateToSucc { entry } => {
@@ -134,7 +134,7 @@ impl LtrNode {
         // Register the tracker *before* issuing puts: a put to a key we own
         // completes synchronously.
         self.publishes.insert(token, PublishCtx { tracker });
-        ctx.metrics().incr("log.publishes");
+        ctx.metrics().incr_id(self.c().log_publishes);
         for key in p2plog::log_locations_iter(n, doc, ts) {
             self.issue_log_put(ctx, token, key, bytes.clone());
         }
@@ -181,24 +181,25 @@ impl LtrNode {
         let now = ctx.now();
         match ev {
             MasterEvent::Granted { key: _, doc, ts } => {
-                ctx.metrics().incr("kts.grants");
+                ctx.metrics().incr_id(self.c().kts_grants);
                 self.record(now, LtrEventKind::MasterGranted { doc, ts });
             }
             MasterEvent::StaleDetected { key } => {
-                ctx.metrics().incr("kts.stale_detected");
+                ctx.metrics().incr_id(self.c().kts_stale_detected);
                 self.record(now, LtrEventKind::StaleMasterStoodDown { doc_key: key });
             }
             MasterEvent::Promoted { count } => {
-                ctx.metrics().incr_by("kts.backups_promoted", count as u64);
+                ctx.metrics()
+                    .incr_id_by(self.c().kts_backups_promoted, count as u64);
                 self.record(now, LtrEventKind::BackupsPromoted { count });
             }
             MasterEvent::HandedOff { count } => {
                 ctx.metrics()
-                    .incr_by("kts.entries_handed_off", count as u64);
+                    .incr_id_by(self.c().kts_entries_handed_off, count as u64);
             }
             MasterEvent::HandoffReceived { count } => {
                 ctx.metrics()
-                    .incr_by("kts.entries_handoff_received", count as u64);
+                    .incr_id_by(self.c().kts_entries_handoff_received, count as u64);
             }
         }
     }

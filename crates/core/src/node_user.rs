@@ -52,16 +52,17 @@ impl LtrNode {
                 cycle_started: None,
             },
         );
-        ctx.metrics().incr("ltr.docs_opened");
+        ctx.metrics().incr_id(self.c().docs_opened);
     }
 
     pub(crate) fn cmd_edit(&mut self, ctx: &mut Ctx<'_, Payload>, doc: &str, new_text: &str) {
         let now = ctx.now();
+        let c = self.c();
         let state = match self.docs.get_mut(doc) {
             Some(s) => s,
             None => return, // not open here
         };
-        ctx.metrics().incr("ltr.edits");
+        ctx.metrics().incr_id(c.edits);
         // Edits accumulate into the pending patch immediately (SOCT4: local
         // operations apply at once; only their *publication* is serialized).
         let target = Document::from_text(new_text);
@@ -185,7 +186,7 @@ impl LtrNode {
                 user: me,
             }),
         );
-        ctx.metrics().incr("ltr.validate_sent");
+        ctx.metrics().incr_id(self.c().validate_sent);
         self.arm_core_timer(ctx, timeout, CoreTimer::ValidateTimeout { doc: name, req });
     }
 
@@ -224,7 +225,7 @@ impl LtrNode {
             .take()
             .map(|t0| now.since(t0).as_millis_f64())
             .unwrap_or(0.0);
-        ctx.metrics().incr("ltr.publish_ok");
+        ctx.metrics().incr_id(self.c().publish_ok);
         ctx.metrics().record("ltr.publish_latency_ms", latency_ms);
         self.record(
             now,
@@ -264,7 +265,7 @@ impl LtrNode {
         if state.phase != UserPhase::Validating {
             return;
         }
-        ctx.metrics().incr("ltr.validate_retry");
+        ctx.metrics().incr_id(self.c().validate_retry);
         self.record(
             now,
             LtrEventKind::RetriedBehind {
@@ -282,7 +283,7 @@ impl LtrNode {
             None => return,
         };
         let now = ctx.now();
-        ctx.metrics().incr("ltr.validate_redirect");
+        ctx.metrics().incr_id(self.c().validate_redirect);
         self.record(now, LtrEventKind::Redirected { doc: doc.clone() });
         self.bump_attempts_and_retry(ctx, &doc);
     }
@@ -298,7 +299,7 @@ impl LtrNode {
             Some(d) => d,
             None => return,
         };
-        ctx.metrics().incr("ltr.validate_failed");
+        ctx.metrics().incr_id(self.c().validate_failed);
         self.bump_attempts_and_retry(ctx, &doc);
     }
 
@@ -323,7 +324,7 @@ impl LtrNode {
             return;
         }
         self.validate_reqs.remove(&req);
-        ctx.metrics().incr("ltr.validate_timeout");
+        ctx.metrics().incr_id(self.c().validate_timeout);
         self.bump_attempts_and_retry(ctx, doc);
     }
 
@@ -362,7 +363,7 @@ impl LtrNode {
             }
             None => DocName::from(doc),
         };
-        ctx.metrics().incr("ltr.cycle_backoff");
+        ctx.metrics().incr_id(self.c().cycle_backoff);
         self.record(now, LtrEventKind::CycleBackedOff { doc: name.clone() });
         self.arm_core_timer(ctx, backoff, CoreTimer::RetryDoc { doc: name });
     }
@@ -434,7 +435,7 @@ impl LtrNode {
             resume_validate,
             first_record_pending: true,
         });
-        ctx.metrics().incr("ltr.retrievals");
+        ctx.metrics().incr_id(self.c().retrievals);
         for cmd in cmds {
             self.issue_log_fetch(ctx, &name, cmd.ts, cmd.hash_idx, cmd.key);
         }
@@ -472,7 +473,7 @@ impl LtrNode {
                 }
                 RetrieveEvent::Failed { ts } => {
                     let now = ctx.now();
-                    ctx.metrics().incr("ltr.retrieval_stalled");
+                    ctx.metrics().incr_id(self.c().retrieval_stalled);
                     self.record(
                         now,
                         LtrEventKind::RetrievalStalled {
@@ -512,6 +513,7 @@ impl LtrNode {
         bytes: &Bytes,
     ) -> bool {
         let now = ctx.now();
+        let c = self.c();
         let state = match self.docs.get_mut(doc.as_str()) {
             Some(s) => s,
             None => return false,
@@ -519,7 +521,7 @@ impl LtrNode {
         let rec = match LogRecord::decode(bytes) {
             Ok(r) => r,
             Err(e) => {
-                ctx.metrics().incr("ltr.record_decode_error");
+                ctx.metrics().incr_id(c.record_decode_error);
                 let _ = e;
                 return false;
             }
@@ -542,7 +544,7 @@ impl LtrNode {
                         .acknowledge_own_prefix(ts, prefix)
                         .expect("own patch must apply");
                     state.inflight = None;
-                    ctx.metrics().incr("ltr.own_record_recovered");
+                    ctx.metrics().incr_id(c.own_record_recovered);
                     let latency_ms = state
                         .cycle_started
                         .take()
@@ -574,13 +576,13 @@ impl LtrNode {
         let patch = match ot::decode_patch(&rec.patch) {
             Ok(p) => p,
             Err(_) => {
-                ctx.metrics().incr("ltr.record_decode_error");
+                ctx.metrics().incr_id(c.record_decode_error);
                 return false;
             }
         };
         match state.replica.integrate_remote(ts, &patch) {
             Ok(()) => {
-                ctx.metrics().incr("ltr.integrated");
+                ctx.metrics().incr_id(c.integrated);
                 self.record(
                     now,
                     LtrEventKind::Integrated {
@@ -593,7 +595,7 @@ impl LtrNode {
             }
             Err(e) => {
                 // A transform bug or corrupted log — surface loudly.
-                ctx.metrics().incr("ltr.integrate_error");
+                ctx.metrics().incr_id(c.integrate_error);
                 panic!("replica divergence on {doc} ts {ts}: {e}");
             }
         }

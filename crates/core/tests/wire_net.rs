@@ -1,0 +1,199 @@
+//! The tentpole proof: the *identical* `LtrNode` state machines that run
+//! on the deterministic simulator also run outside it, over the wire
+//! codec and a real transport, and reconcile to the same document state.
+//!
+//! Uses the in-process transport (encoded frames through queues) so the
+//! test is fast and load-tolerant; the loopback-TCP path is exercised by
+//! the `tcp_ring` example and the `wire` crate's own tests.
+
+use p2p_ltr::{LtrConfig, LtrNet, LtrNode, Payload, UserCmd};
+use simnet::{Duration, NetConfig, NodeId};
+use wire::WireNet;
+
+use chord::{Id, NodeRef};
+
+const DOC: &str = "wiki/Main";
+const INITIAL: &str = "# Shared notes";
+const EDIT1: &str = "# Shared notes\nalice: hello from the wire";
+const EDIT2: &str = "# Shared notes\nalice: hello from the wire\nbob: ack over tcp-ish frames";
+
+/// Deterministic peer identities shared by both runs (mirrors
+/// `LtrNet::build`).
+fn peer_ref(i: usize) -> NodeRef {
+    NodeRef::new(
+        NodeId(i as u32),
+        Id::hash(format!("ltr-peer-{i}").as_bytes()),
+    )
+}
+
+/// Reference run on the simulator: open, two sequential stamped edits,
+/// converge. Returns the final text seen by every peer.
+fn simnet_reference(peers: usize) -> String {
+    let mut net = LtrNet::build(
+        7,
+        NetConfig::lan(),
+        peers,
+        LtrConfig::default(),
+        Duration::from_millis(100),
+    );
+    net.settle(15);
+    let refs = net.peers.clone();
+    net.open_doc(&refs, DOC, INITIAL);
+    net.settle(1);
+    net.edit(refs[0], DOC, EDIT1);
+    assert!(net.run_until_quiet(&[DOC], 30));
+    net.settle(3);
+    net.edit(refs[peers - 1], DOC, EDIT2);
+    assert!(net.run_until_quiet(&[DOC], 30));
+    net.settle(5);
+    let text = net.node(refs[0]).doc_text(DOC).expect("doc open");
+    for r in &refs {
+        assert_eq!(net.node(*r).doc_text(DOC).as_deref(), Some(text.as_str()));
+    }
+    text
+}
+
+#[test]
+fn ltr_stack_over_wire_transport_matches_simnet() {
+    let peers = 3usize;
+    let expected = simnet_reference(peers);
+    assert_eq!(expected, EDIT2, "sequential edits reconcile to the last");
+
+    let mut net: WireNet<Payload> = WireNet::in_process(7);
+    let first = peer_ref(0);
+    for i in 0..peers {
+        let me = peer_ref(i);
+        let bootstrap = (i > 0).then_some(first);
+        let delay = Duration::from_millis(100) * i as u64;
+        let assigned = net.add_node(LtrNode::new(me, LtrConfig::default(), bootstrap, delay));
+        assert_eq!(assigned, me.addr);
+    }
+
+    let secs = std::time::Duration::from_secs;
+    let all = |net: &WireNet<Payload>, f: &dyn Fn(&LtrNode) -> bool| {
+        (0..peers).all(|i| net.node_as::<LtrNode>(NodeId(i as u32)).is_some_and(f))
+    };
+
+    // Ring forms over the transport.
+    assert!(
+        net.run_until(secs(30), |n| all(n, &|p| p.chord().is_joined())),
+        "all peers joined over the wire transport"
+    );
+    net.run_for(secs(2)); // let stabilize/fix-fingers settle the ring
+
+    for i in 0..peers {
+        net.send_external(
+            NodeId(i as u32),
+            Payload::Cmd(UserCmd::OpenDoc {
+                doc: DOC.into(),
+                initial: INITIAL.into(),
+            }),
+        )
+        .unwrap();
+    }
+    assert!(
+        net.run_until(secs(10), |n| all(n, &|p| p.doc_ts(DOC).is_some())),
+        "document opened everywhere"
+    );
+
+    // Stamped edit 1 from peer 0: validated, logged, and pulled by every
+    // replica via anti-entropy.
+    net.send_external(
+        NodeId(0),
+        Payload::Cmd(UserCmd::Edit {
+            doc: DOC.into(),
+            new_text: EDIT1.into(),
+        }),
+    )
+    .unwrap();
+    assert!(
+        net.run_until(secs(30), |n| all(n, &|p| p.doc_ts(DOC) == Some(1))),
+        "edit 1 stamped and integrated at every peer"
+    );
+
+    // Stamped edit 2 from the last peer.
+    net.send_external(
+        NodeId(peers as u32 - 1),
+        Payload::Cmd(UserCmd::Edit {
+            doc: DOC.into(),
+            new_text: EDIT2.into(),
+        }),
+    )
+    .unwrap();
+    assert!(
+        net.run_until(secs(30), |n| all(n, &|p| p.doc_ts(DOC) == Some(2))),
+        "edit 2 stamped and integrated at every peer"
+    );
+
+    for i in 0..peers {
+        let node = net.node_as::<LtrNode>(NodeId(i as u32)).unwrap();
+        assert_eq!(
+            node.doc_text(DOC).as_deref(),
+            Some(expected.as_str()),
+            "peer {i} reconciled to the simnet result"
+        );
+    }
+}
+
+#[test]
+fn wire_accounting_observes_without_disturbing() {
+    let run = |account: bool| {
+        let mut net = LtrNet::build(
+            11,
+            NetConfig::lan(),
+            4,
+            LtrConfig::default(),
+            Duration::from_millis(100),
+        );
+        if account {
+            net.enable_wire_accounting();
+        }
+        net.settle(10);
+        let refs = net.peers.clone();
+        net.open_doc(&refs, DOC, INITIAL);
+        net.settle(1);
+        net.edit(refs[0], DOC, EDIT1);
+        assert!(net.run_until_quiet(&[DOC], 30));
+        net.settle(3);
+        let text = net.node(refs[1]).doc_text(DOC).unwrap();
+        let delivered = net.sim.metrics().counter("sim.msgs_delivered");
+        let bytes = net.sim.metrics().counter("wire.bytes.total");
+        (text, delivered, bytes)
+    };
+    let (text_plain, delivered_plain, bytes_plain) = run(false);
+    let (text_metered, delivered_metered, bytes_metered) = run(true);
+    // Metering is purely observational: identical behaviour.
+    assert_eq!(text_plain, text_metered);
+    assert_eq!(delivered_plain, delivered_metered);
+    assert_eq!(bytes_plain, 0, "no counters without the meter");
+    assert!(
+        bytes_metered > 10_000,
+        "a settled 4-peer ring moves real bytes: {bytes_metered}"
+    );
+}
+
+#[test]
+fn bandwidth_limit_slows_publish_latency() {
+    let run = |bandwidth: Option<u64>| {
+        let mut cfg = NetConfig::lan();
+        cfg.bandwidth = bandwidth;
+        let mut net = LtrNet::build(13, cfg, 4, LtrConfig::default(), Duration::from_millis(100));
+        net.enable_wire_accounting();
+        net.settle(10);
+        let refs = net.peers.clone();
+        net.open_doc(&refs, DOC, INITIAL);
+        net.settle(1);
+        net.edit(refs[0], DOC, EDIT1);
+        assert!(net.run_until_quiet(&[DOC], 60));
+        net.settle(3);
+        assert_eq!(net.node(refs[1]).doc_text(DOC).as_deref(), Some(EDIT1));
+        net.sim.metrics().summary("ltr.publish_latency_ms").p50
+    };
+    let fast = run(None);
+    // 10 kB/s: a ~200-byte message pays ~20 ms serialization per hop.
+    let slow = run(Some(10_000));
+    assert!(
+        slow > fast,
+        "bandwidth-limited publish is slower: {slow} vs {fast}"
+    );
+}

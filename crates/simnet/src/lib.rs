@@ -53,10 +53,10 @@ pub mod sim;
 pub mod time;
 
 pub use metrics::{CounterId, Histogram, Metrics, Summary};
-pub use net::{LatencyModel, NetConfig};
-pub use process::{Ctx, Process, TimerId};
+pub use net::{LatencyModel, MsgMeta, NetConfig};
+pub use process::{Ctx, Effects, Process, TimerId};
 pub use rng::{Rng64, Zipf};
-pub use sim::{ControlFn, NodeState, ProcessAny, Sim};
+pub use sim::{ControlFn, NodeState, ProcessAny, Sim, WireMeter};
 pub use time::{Duration, Time};
 
 /// Identifies a node in the simulation (an index into the node table).

@@ -64,6 +64,18 @@ impl LatencyModel {
     }
 }
 
+/// Metadata one message contributes to wire accounting: its encoded size
+/// and a coarse class label (used to dimension the per-class byte
+/// counters). Produced by the meter installed with
+/// [`Sim::set_wire_meter`](crate::Sim::set_wire_meter).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MsgMeta {
+    /// Encoded size on the wire, in bytes (frame overhead included).
+    pub bytes: usize,
+    /// Message class, e.g. `"chord.find_successor"` or `"kts.validate"`.
+    pub class: &'static str,
+}
+
 /// The full network configuration.
 #[derive(Clone, Debug)]
 pub struct NetConfig {
@@ -73,6 +85,13 @@ pub struct NetConfig {
     pub local_delay: Duration,
     /// Independent per-message drop probability (0.0 = reliable).
     pub loss: f64,
+    /// Per-link transmit rate in **bytes per second**. `None` (the default)
+    /// reproduces the historical behaviour: latency is independent of
+    /// message size. When set — and a wire meter is installed on the
+    /// simulator so encoded sizes are known — every remote message is
+    /// additionally charged its serialization delay `bytes / bandwidth`,
+    /// opening bandwidth-constrained scenarios.
+    pub bandwidth: Option<u64>,
     /// Blocked unordered pairs (network partition edges).
     partitions: HashSet<(NodeId, NodeId)>,
 }
@@ -83,6 +102,7 @@ impl Default for NetConfig {
             latency: LatencyModel::lan(),
             local_delay: Duration::from_micros(10),
             loss: 0.0,
+            bandwidth: None,
             partitions: HashSet::new(),
         }
     }
@@ -133,6 +153,22 @@ impl NetConfig {
     /// Decide the fate of a message: `None` = dropped, `Some(delay)` =
     /// delivered after `delay`.
     pub fn route(&self, rng: &mut Rng64, from: NodeId, to: NodeId) -> Option<Duration> {
+        self.route_sized(rng, from, to, 0)
+    }
+
+    /// Size-aware [`NetConfig::route`]: remote messages additionally pay
+    /// the serialization delay of `bytes` at the configured [`bandwidth`]
+    /// (zero extra when the bandwidth is unset or `bytes` is 0). Local
+    /// dispatch never serializes.
+    ///
+    /// [`bandwidth`]: NetConfig::bandwidth
+    pub fn route_sized(
+        &self,
+        rng: &mut Rng64,
+        from: NodeId,
+        to: NodeId,
+        bytes: usize,
+    ) -> Option<Duration> {
         if from == to {
             return Some(self.local_delay);
         }
@@ -142,7 +178,20 @@ impl NetConfig {
         if self.loss > 0.0 && rng.chance(self.loss) {
             return None;
         }
-        Some(self.latency.sample(rng))
+        Some(self.latency.sample(rng) + self.transmit_delay(bytes))
+    }
+
+    /// Serialization delay of a `bytes`-sized message at the configured
+    /// bandwidth (zero when unlimited).
+    pub fn transmit_delay(&self, bytes: usize) -> Duration {
+        match self.bandwidth {
+            Some(bw) if bw > 0 && bytes > 0 => {
+                // ceil(bytes * 1e6 / bw) microseconds.
+                let us = (bytes as u128 * 1_000_000).div_ceil(bw as u128);
+                Duration::from_micros(us.min(u64::MAX as u128) as u64)
+            }
+            _ => Duration::ZERO,
+        }
     }
 }
 
@@ -207,6 +256,42 @@ mod tests {
             .filter(|_| cfg.route(&mut rng, n(1), n(2)).is_some())
             .count();
         assert!((7000..8000).contains(&delivered), "delivered {delivered}");
+    }
+
+    #[test]
+    fn transmit_delay_charges_bytes_at_bandwidth() {
+        let mut cfg = NetConfig::lan();
+        // Unset bandwidth: size never matters (the historical behaviour).
+        assert_eq!(cfg.transmit_delay(1_000_000), Duration::ZERO);
+        cfg.bandwidth = Some(1_000_000); // 1 MB/s = 1 us per byte
+        assert_eq!(cfg.transmit_delay(0), Duration::ZERO);
+        assert_eq!(cfg.transmit_delay(1), Duration::from_micros(1));
+        assert_eq!(cfg.transmit_delay(1500), Duration::from_micros(1500));
+        // Rounds up: 1 byte at 3 MB/s is still a whole microsecond.
+        cfg.bandwidth = Some(3_000_000);
+        assert_eq!(cfg.transmit_delay(1), Duration::from_micros(1));
+    }
+
+    #[test]
+    fn route_sized_adds_serialization_to_remote_only() {
+        let mut cfg = NetConfig::lan();
+        cfg.latency = LatencyModel::Constant(Duration::from_millis(2));
+        cfg.bandwidth = Some(1_000_000);
+        let mut rng = Rng64::new(8);
+        assert_eq!(
+            cfg.route_sized(&mut rng, n(1), n(2), 500),
+            Some(Duration::from_micros(2_500))
+        );
+        // Self-sends dispatch locally without serializing.
+        assert_eq!(
+            cfg.route_sized(&mut rng, n(1), n(1), 500),
+            Some(cfg.local_delay)
+        );
+        // Size 0 (or no meter) keeps the pure latency sample.
+        assert_eq!(
+            cfg.route_sized(&mut rng, n(1), n(2), 0),
+            Some(Duration::from_millis(2))
+        );
     }
 
     #[test]

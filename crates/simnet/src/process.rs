@@ -35,6 +35,24 @@ impl<M> Outbox<M> {
     }
 }
 
+/// The buffered outputs of one upcall, handed back to an external driver.
+///
+/// Inside the simulator the [`Sim`](crate::Sim) event loop consumes these
+/// directly; real transports (e.g. the `wire` crate's TCP runner) obtain
+/// them via [`Ctx::detached`] + [`Ctx::take_effects`] and execute them
+/// against sockets and a real-time timer wheel.
+#[derive(Debug)]
+pub struct Effects<M> {
+    /// Messages to deliver, in send order.
+    pub msgs: Vec<(NodeId, M)>,
+    /// Timers armed: `(id, delay, tag)`.
+    pub timers: Vec<(TimerId, Duration, u64)>,
+    /// Timers cancelled.
+    pub cancels: Vec<TimerId>,
+    /// The node asked to stop itself.
+    pub halt: bool,
+}
+
 /// Capability handle passed to every [`Process`] upcall.
 pub struct Ctx<'a, M> {
     pub(crate) now: Time,
@@ -46,6 +64,38 @@ pub struct Ctx<'a, M> {
 }
 
 impl<'a, M> Ctx<'a, M> {
+    /// Build a context detached from any simulator, for driving a
+    /// [`Process`] over a real transport (see the `wire` crate). The caller
+    /// owns the RNG, metrics registry and timer sequence per node and
+    /// executes the buffered [`Effects`] after the upcall returns.
+    pub fn detached(
+        now: Time,
+        self_id: NodeId,
+        rng: &'a mut Rng64,
+        metrics: &'a mut Metrics,
+        timer_seq: &'a mut u64,
+    ) -> Self {
+        Ctx {
+            now,
+            self_id,
+            rng,
+            metrics,
+            timer_seq,
+            out: Outbox::new(),
+        }
+    }
+
+    /// Consume the context, returning the effects buffered during the
+    /// upcall (companion to [`Ctx::detached`]).
+    pub fn take_effects(self) -> Effects<M> {
+        Effects {
+            msgs: self.out.msgs,
+            timers: self.out.timers,
+            cancels: self.out.cancels,
+            halt: self.out.halt,
+        }
+    }
+
     /// Current simulated time.
     #[inline]
     pub fn now(&self) -> Time {
@@ -154,6 +204,29 @@ mod tests {
         assert_eq!(ctx.out.cancels, vec![t1]);
         assert_eq!(ctx.now().as_millis(), 1);
         assert_eq!(ctx.self_id(), NodeId(3));
+    }
+
+    #[test]
+    fn detached_ctx_hands_back_effects() {
+        let mut rng = Rng64::new(9);
+        let mut metrics = Metrics::new();
+        let mut seq = 0u64;
+        let mut ctx: Ctx<'_, u32> = Ctx::detached(
+            Time::from_millis(7),
+            NodeId(1),
+            &mut rng,
+            &mut metrics,
+            &mut seq,
+        );
+        ctx.send(NodeId(2), 42);
+        let t = ctx.set_timer(Duration::from_millis(3), 5);
+        ctx.cancel_timer(t);
+        ctx.halt_self();
+        let eff = ctx.take_effects();
+        assert_eq!(eff.msgs, vec![(NodeId(2), 42)]);
+        assert_eq!(eff.timers, vec![(t, Duration::from_millis(3), 5)]);
+        assert_eq!(eff.cancels, vec![t]);
+        assert!(eff.halt);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 
 use crate::metrics::{CounterId, Metrics};
-use crate::net::NetConfig;
+use crate::net::{MsgMeta, NetConfig};
 use crate::process::{Ctx, Outbox, Process, TimerId};
 use crate::rng::Rng64;
 use crate::time::{Duration, Time};
@@ -119,6 +119,27 @@ impl HotCounters {
     }
 }
 
+/// Sizes (and classifies) a message for wire accounting; typically
+/// `|m| MsgMeta { bytes: wire-encoded frame length, class: ... }`.
+pub type WireMeter<M> = Box<dyn Fn(&M) -> MsgMeta>;
+
+/// Pre-registered counter pair of one wire message class.
+struct WireClassSlot {
+    class: &'static str,
+    bytes: CounterId,
+    msgs: CounterId,
+}
+
+/// Per-message wire accounting state (absent unless a meter is installed,
+/// so un-metered simulations pay nothing and expose no extra counters).
+struct WireAccounting<M> {
+    meter: WireMeter<M>,
+    total_bytes: CounterId,
+    total_msgs: CounterId,
+    /// Class -> counter handles; a handful of classes, linear scan.
+    classes: Vec<WireClassSlot>,
+}
+
 /// The simulator. See the crate docs for the execution model.
 pub struct Sim<M> {
     now: Time,
@@ -130,6 +151,7 @@ pub struct Sim<M> {
     hot: HotCounters,
     events_processed: u64,
     net: NetConfig,
+    wire: Option<WireAccounting<M>>,
     timer_seq: u64,
     cancelled: HashSet<TimerId>,
     trace_enabled: bool,
@@ -152,6 +174,7 @@ impl<M: std::fmt::Debug + 'static> Sim<M> {
             hot,
             events_processed: 0,
             net,
+            wire: None,
             timer_seq: 0,
             cancelled: HashSet::new(),
             trace_enabled: false,
@@ -185,6 +208,57 @@ impl<M: std::fmt::Debug + 'static> Sim<M> {
     /// The simulator RNG (e.g. for workload decisions in control scripts).
     pub fn rng_mut(&mut self) -> &mut Rng64 {
         &mut self.rng
+    }
+
+    /// Install a wire meter: from now on every sent message is sized and
+    /// classified through `meter`, its bytes counted into
+    /// `wire.bytes.total` / `wire.bytes.<class>` (plus `wire.msgs.*`
+    /// message counts), and — when [`NetConfig::bandwidth`] is set — its
+    /// serialization delay charged on top of the sampled latency.
+    ///
+    /// Metering alone never changes behaviour: it draws no randomness and
+    /// adds no delay unless a bandwidth limit is configured.
+    pub fn set_wire_meter(&mut self, meter: WireMeter<M>) {
+        let total_bytes = self.metrics.register_counter("wire.bytes.total");
+        let total_msgs = self.metrics.register_counter("wire.msgs.total");
+        self.wire = Some(WireAccounting {
+            meter,
+            total_bytes,
+            total_msgs,
+            classes: Vec::new(),
+        });
+    }
+
+    /// Size `msg` through the installed meter (if any), bumping the byte
+    /// counters; returns the encoded size for the bandwidth charge.
+    fn meter_msg(&mut self, msg: &M) -> usize {
+        let Some(wire) = &mut self.wire else {
+            return 0;
+        };
+        let meta = (wire.meter)(msg);
+        self.metrics.incr_id_by(wire.total_bytes, meta.bytes as u64);
+        self.metrics.incr_id(wire.total_msgs);
+        let slot = match wire.classes.iter().find(|s| s.class == meta.class) {
+            Some(s) => s,
+            None => {
+                let bytes = self
+                    .metrics
+                    .register_counter(&format!("wire.bytes.{}", meta.class));
+                let msgs = self
+                    .metrics
+                    .register_counter(&format!("wire.msgs.{}", meta.class));
+                wire.classes.push(WireClassSlot {
+                    class: meta.class,
+                    bytes,
+                    msgs,
+                });
+                wire.classes.last().expect("just pushed")
+            }
+        };
+        let (b, m) = (slot.bytes, slot.msgs);
+        self.metrics.incr_id_by(b, meta.bytes as u64);
+        self.metrics.incr_id(m);
+        meta.bytes
     }
 
     /// Enable/disable message tracing (debug aid; capped buffer).
@@ -283,6 +357,9 @@ impl<M: std::fmt::Debug + 'static> Sim<M> {
     /// Inject a message "from outside the network" (e.g. a user action).
     /// Delivered after the local-delay latency.
     pub fn send_external(&mut self, to: NodeId, msg: M) {
+        // Metered like any other traffic (a real client crosses the wire
+        // too) but never bandwidth-charged: local dispatch.
+        self.meter_msg(&msg);
         let at = self.now + self.net.local_delay;
         let seq = self.next_seq();
         self.queue.push(Entry {
@@ -353,7 +430,8 @@ impl<M: std::fmt::Debug + 'static> Sim<M> {
     fn flush(&mut self, from: NodeId, out: Outbox<M>, allow_timers: bool) {
         for (to, msg) in out.msgs {
             self.metrics.incr_id(self.hot.msgs_sent);
-            match self.net.route(&mut self.rng, from, to) {
+            let bytes = self.meter_msg(&msg);
+            match self.net.route_sized(&mut self.rng, from, to, bytes) {
                 Some(delay) => {
                     if self.trace_enabled && self.trace.len() < self.trace_cap {
                         self.trace.push(format!(
@@ -656,6 +734,71 @@ mod tests {
         let mut sim = new_sim();
         sim.run_until(Time::from_secs(5));
         assert_eq!(sim.now(), Time::from_secs(5));
+    }
+
+    #[test]
+    fn wire_meter_counts_bytes_and_charges_bandwidth() {
+        use crate::net::MsgMeta;
+        let run = |metered: bool, bandwidth: Option<u64>| {
+            let mut net = NetConfig::lan();
+            net.latency = crate::net::LatencyModel::Constant(Duration::from_millis(1));
+            net.bandwidth = bandwidth;
+            let mut sim: Sim<Msg> = Sim::new(42, net);
+            if metered {
+                sim.set_wire_meter(Box::new(|m| match m {
+                    Msg::Ping(_) => MsgMeta {
+                        bytes: 100,
+                        class: "ping",
+                    },
+                    Msg::Pong(_) => MsgMeta {
+                        bytes: 10,
+                        class: "pong",
+                    },
+                }));
+            }
+            let b = sim.add_node(Echo {
+                pongs: 0,
+                ticks: 0,
+                peer: None,
+            });
+            let _a = sim.add_node(Echo {
+                pongs: 0,
+                ticks: 0,
+                peer: Some(b),
+            });
+            sim.run_until(Time::from_secs(1));
+            (
+                sim.metrics().counter("wire.bytes.total"),
+                sim.metrics().counter("wire.bytes.ping"),
+                sim.metrics().counter("wire.msgs.pong"),
+                sim.metrics().counter("sim.msgs_delivered"),
+            )
+        };
+        // Metering alone: counters filled, behaviour identical.
+        let (total, ping_bytes, pong_msgs, delivered) = run(true, None);
+        assert_eq!(delivered, run(false, None).3);
+        assert_eq!(total, 5 * 100 + 5 * 10);
+        assert_eq!(ping_bytes, 500);
+        assert_eq!(pong_msgs, 5);
+        // A crawling link (100 bytes/s => 1 s per ping) delays pongs past
+        // the horizon.
+        let (_, _, _, delivered_slow) = run(true, Some(100));
+        assert!(delivered_slow < delivered, "{delivered_slow} < {delivered}");
+        // Un-metered simulations expose no wire counters at all.
+        let mut names = Vec::new();
+        {
+            let mut sim: Sim<Msg> = Sim::new(1, NetConfig::lan());
+            sim.add_node(Echo {
+                pongs: 0,
+                ticks: 0,
+                peer: None,
+            });
+            sim.run_until(Time::from_millis(50));
+            for (k, _) in sim.metrics().counters() {
+                names.push(k.to_string());
+            }
+        }
+        assert!(names.iter().all(|n| !n.starts_with("wire.")), "{names:?}");
     }
 
     #[test]

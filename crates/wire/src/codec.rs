@@ -1,0 +1,501 @@
+//! The codec core: [`Encode`] / [`Decode`] traits, the bounds-checked
+//! [`Reader`], and [`WireError`].
+//!
+//! Design rules, enforced across every implementation in this crate:
+//!
+//! * **Deterministic** — a value has exactly one encoding (canonical
+//!   varints, fixed field order), so identical protocol states produce
+//!   byte-identical frames on every machine.
+//! * **Total decoding** — `decode` returns `Err` on any malformed input:
+//!   truncation, unknown tags, non-UTF-8 names, over-long varints,
+//!   oversized length prefixes. It never panics and never over-allocates
+//!   ahead of the bytes actually present (a corrupt length prefix cannot
+//!   balloon memory).
+//! * **Zero-copy payloads** — byte payloads decode as [`Bytes`] slices of
+//!   the receive buffer when the reader is backed by one
+//!   ([`Reader::with_backing`]).
+
+use bytes::Bytes;
+
+use crate::varint::{read_varint, varint_len, write_varint};
+
+/// Decoding failure. Total: every malformed input maps to one of these.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the value did.
+    Truncated,
+    /// A varint was over-long or overflowed 64 bits.
+    VarintOverflow,
+    /// An enum tag byte had no corresponding variant.
+    BadTag {
+        /// Which type was being decoded.
+        what: &'static str,
+        /// The offending tag.
+        tag: u8,
+    },
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// A length prefix exceeded the bytes actually available.
+    BadLength,
+    /// A frame declared a length beyond [`MAX_FRAME_LEN`](crate::MAX_FRAME_LEN).
+    FrameTooLarge {
+        /// The declared length.
+        len: usize,
+    },
+    /// The frame's version byte is not one this decoder speaks.
+    BadVersion(u8),
+    /// Bytes remained after the value was fully decoded.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated input"),
+            WireError::VarintOverflow => write!(f, "varint over-long or overflowing"),
+            WireError::BadTag { what, tag } => write!(f, "unknown {what} tag {tag:#04x}"),
+            WireError::BadUtf8 => write!(f, "string field not utf-8"),
+            WireError::BadLength => write!(f, "length prefix exceeds input"),
+            WireError::FrameTooLarge { len } => write!(f, "frame length {len} over limit"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after value"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A value with a canonical wire encoding.
+pub trait Encode {
+    /// Append this value's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Exact size `encode` will append, computed without encoding.
+    /// Implementations mirror their `encode`; the property tests pin
+    /// `encoded_len(m) == encode(m).len()` for every message type.
+    fn encoded_len(&self) -> usize;
+
+    /// Convenience: encode into a fresh buffer.
+    fn to_wire(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode(&mut out);
+        out
+    }
+}
+
+/// A value decodable from its canonical wire encoding.
+pub trait Decode: Sized {
+    /// Decode one value from the reader's current position.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError>;
+
+    /// Decode a value that must occupy the **entire** buffer.
+    fn from_wire(buf: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(buf);
+        let v = Self::decode(&mut r)?;
+        r.finish()?;
+        Ok(v)
+    }
+}
+
+/// Bounds-checked cursor over a receive buffer.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    /// When the buffer is a view into a [`Bytes`], payload fields slice it
+    /// instead of copying (zero-copy with a real `bytes` implementation).
+    backing: Option<&'a Bytes>,
+}
+
+impl<'a> Reader<'a> {
+    /// Read from a plain byte slice (payload fields copy).
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader {
+            buf,
+            pos: 0,
+            backing: None,
+        }
+    }
+
+    /// Read from a [`Bytes`] buffer; payload fields become slices of it.
+    pub fn with_backing(buf: &'a Bytes) -> Self {
+        Reader {
+            buf,
+            pos: 0,
+            backing: Some(buf),
+        }
+    }
+
+    /// Bytes not yet consumed.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Error unless the whole buffer was consumed.
+    pub fn finish(&self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes)
+        }
+    }
+
+    /// Take `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    #[inline]
+    pub fn read_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a canonical varint `u64`.
+    #[inline]
+    pub fn read_varint(&mut self) -> Result<u64, WireError> {
+        let (v, used) = read_varint(&self.buf[self.pos..])?;
+        self.pos += used;
+        Ok(v)
+    }
+
+    /// Read a varint that must fit the target integer width.
+    pub fn read_varint_max(&mut self, max: u64) -> Result<u64, WireError> {
+        let v = self.read_varint()?;
+        if v > max {
+            return Err(WireError::VarintOverflow);
+        }
+        Ok(v)
+    }
+
+    /// Read a varint length prefix, validated against the bytes actually
+    /// remaining — the guard that keeps corrupt prefixes from triggering
+    /// huge allocations.
+    pub fn read_len(&mut self) -> Result<usize, WireError> {
+        let v = self.read_varint()?;
+        if v > self.remaining() as u64 {
+            return Err(WireError::BadLength);
+        }
+        Ok(v as usize)
+    }
+
+    /// Read a fixed 8-byte little-endian `u64` (ring identifiers: their
+    /// values are uniform over the full width, so a varint would lose).
+    #[inline]
+    pub fn read_u64_le(&mut self) -> Result<u64, WireError> {
+        let s = self.take(8)?;
+        Ok(u64::from_le_bytes(s.try_into().expect("len checked")))
+    }
+
+    /// Read a length-prefixed byte payload as [`Bytes`] (sliced from the
+    /// backing buffer when available).
+    pub fn read_bytes(&mut self) -> Result<Bytes, WireError> {
+        let len = self.read_len()?;
+        let start = self.pos;
+        let raw = self.take(len)?;
+        Ok(match self.backing {
+            Some(b) => b.slice(start..start + len),
+            None => Bytes::copy_from_slice(raw),
+        })
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn read_str(&mut self) -> Result<&'a str, WireError> {
+        let len = self.read_len()?;
+        let raw = self.take(len)?;
+        std::str::from_utf8(raw).map_err(|_| WireError::BadUtf8)
+    }
+}
+
+// ---- primitive impls ------------------------------------------------------
+
+impl Encode for u8 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self);
+    }
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
+impl Decode for u8 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.read_u8()
+    }
+}
+
+impl Encode for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
+impl Decode for bool {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.read_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(WireError::BadTag { what: "bool", tag }),
+        }
+    }
+}
+
+impl Encode for u32 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        write_varint(out, *self as u64);
+    }
+    fn encoded_len(&self) -> usize {
+        varint_len(*self as u64)
+    }
+}
+
+impl Decode for u32 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(r.read_varint_max(u32::MAX as u64)? as u32)
+    }
+}
+
+impl Encode for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        write_varint(out, *self);
+    }
+    fn encoded_len(&self) -> usize {
+        varint_len(*self)
+    }
+}
+
+impl Decode for u64 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.read_varint()
+    }
+}
+
+impl Encode for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        write_varint(out, *self as u64);
+    }
+    fn encoded_len(&self) -> usize {
+        varint_len(*self as u64)
+    }
+}
+
+impl Decode for usize {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(r.read_varint_max(usize::MAX as u64)? as usize)
+    }
+}
+
+impl Encode for str {
+    fn encode(&self, out: &mut Vec<u8>) {
+        write_varint(out, self.len() as u64);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn encoded_len(&self) -> usize {
+        varint_len(self.len() as u64) + self.len()
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_str().encode(out);
+    }
+    fn encoded_len(&self) -> usize {
+        self.as_str().encoded_len()
+    }
+}
+
+impl Decode for String {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(r.read_str()?.to_owned())
+    }
+}
+
+impl Encode for Bytes {
+    fn encode(&self, out: &mut Vec<u8>) {
+        write_varint(out, self.len() as u64);
+        out.extend_from_slice(self);
+    }
+    fn encoded_len(&self) -> usize {
+        varint_len(self.len() as u64) + self.len()
+    }
+}
+
+impl Decode for Bytes {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.read_bytes()
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        1 + self.as_ref().map_or(0, Encode::encoded_len)
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.read_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            tag => Err(WireError::BadTag {
+                what: "option",
+                tag,
+            }),
+        }
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        write_varint(out, self.len() as u64);
+        for item in self {
+            item.encode(out);
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        varint_len(self.len() as u64) + self.iter().map(Encode::encoded_len).sum::<usize>()
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let count = r.read_varint()?;
+        // Guard: each element costs at least one byte, so a count beyond
+        // the remaining bytes is malformed — reject before allocating.
+        if count > r.remaining() as u64 {
+            return Err(WireError::BadLength);
+        }
+        // The count bounds *elements*, not allocation: with multi-word
+        // element types a hostile count that passes the byte guard could
+        // still pre-allocate tens of times the frame size. Cap the upfront
+        // reservation and let growth handle honest large vectors.
+        let mut v = Vec::with_capacity((count as usize).min(1024));
+        for _ in 0..count {
+            v.push(T::decode(r)?);
+        }
+        Ok(v)
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len() + self.1.encoded_len()
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt<T: Encode + Decode + PartialEq + std::fmt::Debug>(v: T) {
+        let buf = v.to_wire();
+        assert_eq!(buf.len(), v.encoded_len());
+        assert_eq!(T::from_wire(&buf).unwrap(), v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        rt(0u8);
+        rt(255u8);
+        rt(true);
+        rt(false);
+        rt(0u32);
+        rt(u32::MAX);
+        rt(u64::MAX);
+        rt(String::new());
+        rt("héllo ⇄ wire".to_string());
+        rt(Bytes::from(vec![1, 2, 3]));
+        rt(Option::<u64>::None);
+        rt(Some(42u64));
+        rt(vec![1u64, 2, 3]);
+        rt(Vec::<u64>::new());
+        rt((7u64, Bytes::from(vec![9])));
+    }
+
+    #[test]
+    fn bad_tags_are_errors() {
+        assert_eq!(
+            bool::from_wire(&[2]),
+            Err(WireError::BadTag {
+                what: "bool",
+                tag: 2
+            })
+        );
+        assert!(matches!(
+            Option::<u8>::from_wire(&[7, 0]),
+            Err(WireError::BadTag { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefixes_rejected_before_allocating() {
+        // Vec count = u64::MAX with a 2-byte body.
+        let mut buf = Vec::new();
+        crate::varint::write_varint(&mut buf, u64::MAX);
+        buf.extend_from_slice(&[0, 0]);
+        assert_eq!(Vec::<u8>::from_wire(&buf), Err(WireError::BadLength));
+        // String length beyond the buffer.
+        let mut buf = Vec::new();
+        crate::varint::write_varint(&mut buf, 100);
+        buf.extend_from_slice(b"short");
+        assert_eq!(String::from_wire(&buf), Err(WireError::BadLength));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected_by_from_wire() {
+        let mut buf = 5u64.to_wire();
+        buf.push(0);
+        assert_eq!(u64::from_wire(&buf), Err(WireError::TrailingBytes));
+    }
+
+    #[test]
+    fn u32_range_enforced() {
+        let buf = (u32::MAX as u64 + 1).to_wire();
+        assert_eq!(u32::from_wire(&buf), Err(WireError::VarintOverflow));
+    }
+
+    #[test]
+    fn non_utf8_string_rejected() {
+        let buf = vec![2, 0xff, 0xfe];
+        assert_eq!(String::from_wire(&buf), Err(WireError::BadUtf8));
+    }
+
+    #[test]
+    fn backed_reader_slices_payloads() {
+        let payload = Bytes::from(vec![9u8; 16]);
+        let mut buf = Vec::new();
+        payload.encode(&mut buf);
+        let backing = Bytes::from(buf);
+        let mut r = Reader::with_backing(&backing);
+        let back = Bytes::decode(&mut r).unwrap();
+        assert_eq!(back, payload);
+        r.finish().unwrap();
+    }
+}

@@ -1,0 +1,210 @@
+//! Length-prefixed, versioned frames — the unit a transport moves.
+//!
+//! Layout (all offsets fixed so a byte stream can be re-framed without
+//! decoding the body):
+//!
+//! ```text
+//! +----------------+---------+-------------+------------------+
+//! | len: u32 LE    | version | from: u32 LE| body (Encode)    |
+//! |  (bytes after  |  (= 1)  |  sender     |  one message     |
+//! |   this field)  |         |  NodeId     |                  |
+//! +----------------+---------+-------------+------------------+
+//! ```
+//!
+//! The sender address travels in the header because the receiving state
+//! machines ([`simnet::Process::on_message`]) are addressed by
+//! [`NodeId`], not by TCP peer — one connection may proxy for any sender.
+//!
+//! Decoding is total: oversized or short length prefixes, unknown
+//! versions, and bodies that under- or over-run the declared length all
+//! return [`WireError`]s.
+
+use simnet::NodeId;
+
+use crate::codec::{Decode, Encode, Reader, WireError};
+
+/// Current (and only) wire format version.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Bytes of header preceding the body: length prefix + version + sender.
+pub const FRAME_HEADER_LEN: usize = 4 + 1 + 4;
+
+/// Upper bound on `len` (version + sender + body). Frames declaring more
+/// are rejected before any allocation — a corrupted length prefix must
+/// not balloon memory.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Encode one message as a complete frame from `from`.
+pub fn encode_frame<M: Encode>(from: NodeId, msg: &M) -> Vec<u8> {
+    let body_len = msg.encoded_len();
+    let len = 1 + 4 + body_len; // version + from + body
+    let mut out = Vec::with_capacity(4 + len);
+    out.extend_from_slice(&(len as u32).to_le_bytes());
+    out.push(WIRE_VERSION);
+    out.extend_from_slice(&from.0.to_le_bytes());
+    msg.encode(&mut out);
+    debug_assert_eq!(out.len(), 4 + len);
+    out
+}
+
+/// Wire size of `msg` once framed (header included) — what the simulator
+/// charges when metering bytes-on-wire.
+pub fn frame_len<M: Encode>(msg: &M) -> usize {
+    FRAME_HEADER_LEN + msg.encoded_len()
+}
+
+/// Decode one complete frame (as produced by [`encode_frame`]) into
+/// `(sender, message)`. The buffer must contain exactly one frame.
+pub fn decode_frame<M: Decode>(frame: &[u8]) -> Result<(NodeId, M), WireError> {
+    let mut r = Reader::new(frame);
+    let len = u32::from_le_bytes(r.take(4)?.try_into().expect("len checked")) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::FrameTooLarge { len });
+    }
+    if len != frame.len().saturating_sub(4) {
+        return Err(if len > frame.len() - 4 {
+            WireError::Truncated
+        } else {
+            WireError::TrailingBytes
+        });
+    }
+    let version = r.read_u8()?;
+    if version != WIRE_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let from = NodeId(u32::from_le_bytes(r.take(4)?.try_into().expect("len")));
+    let msg = M::decode(&mut r)?;
+    r.finish()?;
+    Ok((from, msg))
+}
+
+/// Re-frames an arbitrary byte stream: push chunks as they arrive off a
+/// socket, pop complete frames. Detects oversized frames as soon as the
+/// length prefix is readable, so a poisoned stream fails fast.
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted opportunistically).
+    start: usize,
+}
+
+impl FrameAssembler {
+    /// Fresh empty assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append bytes read from the stream.
+    pub fn push(&mut self, data: &[u8]) {
+        // Compact before growing: keeps the buffer bounded by one frame
+        // plus one read.
+        if self.start > 0 && (self.start >= self.buf.len() || self.start > 64 * 1024) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Pop the next complete frame (header included), `Ok(None)` when more
+    /// bytes are needed, or an error for unrecoverable stream corruption
+    /// (an oversized length prefix).
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().expect("len checked")) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(WireError::FrameTooLarge { len });
+        }
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let frame = avail[..4 + len].to_vec();
+        self.start += 4 + len;
+        Ok(Some(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let frame = encode_frame(NodeId(7), &12345u64);
+        assert_eq!(frame.len(), frame_len(&12345u64));
+        let (from, v): (NodeId, u64) = decode_frame(&frame).unwrap();
+        assert_eq!(from, NodeId(7));
+        assert_eq!(v, 12345);
+    }
+
+    #[test]
+    fn truncation_and_trailing_rejected() {
+        let frame = encode_frame(NodeId(1), &7u64);
+        for cut in 0..frame.len() {
+            assert!(decode_frame::<u64>(&frame[..cut]).is_err(), "cut {cut}");
+        }
+        let mut long = frame.clone();
+        long.push(0);
+        assert!(decode_frame::<u64>(&long).is_err());
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut frame = encode_frame(NodeId(1), &7u64);
+        frame[4] = 99;
+        assert_eq!(decode_frame::<u64>(&frame), Err(WireError::BadVersion(99)));
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected() {
+        let mut frame = encode_frame(NodeId(1), &7u64);
+        frame[..4].copy_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(matches!(
+            decode_frame::<u64>(&frame),
+            Err(WireError::FrameTooLarge { .. })
+        ));
+        let mut asm = FrameAssembler::new();
+        asm.push(&frame);
+        assert!(matches!(
+            asm.next_frame(),
+            Err(WireError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn assembler_reframes_byte_by_byte() {
+        let frames: Vec<Vec<u8>> = (0..20u64)
+            .map(|i| encode_frame(NodeId(i as u32), &(i * 1000)))
+            .collect();
+        let stream: Vec<u8> = frames.iter().flatten().copied().collect();
+        let mut asm = FrameAssembler::new();
+        let mut got = Vec::new();
+        for &b in &stream {
+            asm.push(&[b]);
+            while let Some(f) = asm.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, frames);
+        assert_eq!(asm.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn assembler_handles_arbitrary_chunking() {
+        let frames: Vec<Vec<u8>> = (0..10u64).map(|i| encode_frame(NodeId(2), &i)).collect();
+        let stream: Vec<u8> = frames.iter().flatten().copied().collect();
+        for chunk in [1usize, 2, 3, 5, 7, 11, stream.len()] {
+            let mut asm = FrameAssembler::new();
+            let mut got = Vec::new();
+            for piece in stream.chunks(chunk) {
+                asm.push(piece);
+                while let Some(f) = asm.next_frame().unwrap() {
+                    got.push(f);
+                }
+            }
+            assert_eq!(got, frames, "chunk size {chunk}");
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # wire — binary codec + pluggable transports for P2P-LTR
+//!
+//! Until this crate existed, protocol messages crossed node boundaries as
+//! in-memory Rust enums inside the simulator: no wire format, no
+//! byte-accurate sizing, no path to real traffic. This crate is that
+//! missing layer:
+//!
+//! * a **deterministic, versioned binary codec** — [`Encode`]/[`Decode`]
+//!   over canonical varints, fixed-width ring ids, length-prefixed names
+//!   and `Bytes`-backed payload slices — implemented for every protocol
+//!   message: `ChordMsg`, `KtsMsg`, the P2P-Log record, and (in the
+//!   `p2p_ltr` crate) the `Payload` envelope that multiplexes them;
+//! * **length-prefixed frames** ([`frame`]) carrying a version byte and
+//!   the sender address, with a [`FrameAssembler`] that re-frames
+//!   arbitrary stream chunkings;
+//! * a [`Transport`] trait with two endpoints — in-process queues
+//!   ([`MemHub`]) and **threaded loopback TCP** ([`TcpHub`]) — plus the
+//!   [`WireNet`] runner that drives unmodified [`simnet::Process`] state
+//!   machines over either, in real time;
+//! * total decoding: malformed input of any kind (truncation, corruption,
+//!   hostile length prefixes, unknown tags/versions) yields a
+//!   [`WireError`], never a panic and never an oversized allocation.
+//!
+//! The third transport is the simulator itself: install a wire meter
+//! (`simnet::Sim::set_wire_meter`) built on [`frame::frame_len`] and the
+//! simulator charges per-message latency from the *actual encoded size*
+//! of each message whenever `NetConfig::bandwidth` is set.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod frame;
+pub mod proto;
+pub mod runner;
+pub mod transport;
+pub mod varint;
+
+pub use codec::{Decode, Encode, Reader, WireError};
+pub use frame::{
+    decode_frame, encode_frame, frame_len, FrameAssembler, FRAME_HEADER_LEN, MAX_FRAME_LEN,
+    WIRE_VERSION,
+};
+pub use proto::{chord_class, kts_class};
+pub use runner::WireNet;
+pub use transport::{MemHub, MemTransport, TcpHub, TcpTransport, Transport, TransportError};

@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use chord::{Id, NodeRef};
 use p2p_ltr::{LtrConfig, LtrNode, Payload, UserCmd};
-use simnet::{Duration, NodeId, NodeState, Rng64, Sim, Time};
+use simnet::{CounterId, Duration, NodeId, NodeState, Rng64, Sim, Time};
 
 /// What a churn event does.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -42,27 +42,32 @@ struct ChurnInner {
     spec: ChurnSpec,
     protected: HashSet<NodeId>,
     cfg: LtrConfig,
+    crashes: CounterId,
+    leaves: CounterId,
+    joins: CounterId,
 }
 
 /// Schedule a precise crash at an absolute time.
 pub fn schedule_crash(sim: &mut Sim<Payload>, at: Time, peer: NodeRef) {
+    let crashes = sim.metrics_mut().register_counter("churn.crashes");
     sim.schedule_at(
         at,
         Box::new(move |s: &mut Sim<Payload>| {
             s.crash(peer.addr);
-            s.metrics_mut().incr("churn.crashes");
+            s.metrics_mut().incr_id(crashes);
         }),
     );
 }
 
 /// Schedule a precise graceful leave at an absolute time.
 pub fn schedule_leave(sim: &mut Sim<Payload>, at: Time, peer: NodeRef) {
+    let leaves = sim.metrics_mut().register_counter("churn.leaves");
     sim.schedule_at(
         at,
         Box::new(move |s: &mut Sim<Payload>| {
             if s.node_state(peer.addr) == NodeState::Up {
                 s.send_external(peer.addr, Payload::Cmd(UserCmd::Leave));
-                s.metrics_mut().incr("churn.leaves");
+                s.metrics_mut().incr_id(leaves);
             }
         }),
     );
@@ -71,10 +76,11 @@ pub fn schedule_leave(sim: &mut Sim<Payload>, at: Time, peer: NodeRef) {
 /// Schedule a join of a fresh peer named `name` at an absolute time.
 /// The joiner bootstraps via any live peer.
 pub fn schedule_join(sim: &mut Sim<Payload>, at: Time, name: String, cfg: LtrConfig) {
+    let joins = sim.metrics_mut().register_counter("churn.joins");
     sim.schedule_at(
         at,
         Box::new(move |s: &mut Sim<Payload>| {
-            join_now(s, &name, &cfg);
+            join_now(s, &name, &cfg, joins);
         }),
     );
 }
@@ -86,7 +92,12 @@ fn live_peers(sim: &Sim<Payload>) -> Vec<NodeRef> {
         .collect()
 }
 
-fn join_now(sim: &mut Sim<Payload>, name: &str, cfg: &LtrConfig) -> Option<NodeRef> {
+fn join_now(
+    sim: &mut Sim<Payload>,
+    name: &str,
+    cfg: &LtrConfig,
+    joins: CounterId,
+) -> Option<NodeRef> {
     let bootstrap = live_peers(sim).first().copied()?;
     let id = Id::hash(name.as_bytes());
     let addr = NodeId(sim.node_count() as u32);
@@ -98,7 +109,7 @@ fn join_now(sim: &mut Sim<Payload>, name: &str, cfg: &LtrConfig) -> Option<NodeR
         Duration::ZERO,
     ));
     debug_assert_eq!(assigned, addr);
-    sim.metrics_mut().incr("churn.joins");
+    sim.metrics_mut().incr_id(joins);
     Some(me)
 }
 
@@ -108,6 +119,9 @@ pub fn drive_churn(sim: &mut Sim<Payload>, spec: ChurnSpec, cfg: LtrConfig, seed
         protected: spec.protected.iter().map(|p| p.addr).collect(),
         spec,
         cfg,
+        crashes: sim.metrics_mut().register_counter("churn.crashes"),
+        leaves: sim.metrics_mut().register_counter("churn.leaves"),
+        joins: sim.metrics_mut().register_counter("churn.joins"),
     });
     let rng = Rng64::new(seed);
     let first = sim.now() + inner.spec.mean_interval;
@@ -149,16 +163,16 @@ fn schedule_churn_step(
                             let victim = *rng.pick(&candidates);
                             if action == ChurnAction::Crash {
                                 s.crash(victim.addr);
-                                s.metrics_mut().incr("churn.crashes");
+                                s.metrics_mut().incr_id(inner.crashes);
                             } else {
                                 s.send_external(victim.addr, Payload::Cmd(UserCmd::Leave));
-                                s.metrics_mut().incr("churn.leaves");
+                                s.metrics_mut().incr_id(inner.leaves);
                             }
                         }
                     }
                     ChurnAction::Join => {
                         let name = format!("churn-joiner-{counter}");
-                        join_now(s, &name, &inner.cfg);
+                        join_now(s, &name, &inner.cfg, inner.joins);
                     }
                 }
             }

@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use p2p_ltr::{LtrNode, Payload, UserCmd};
-use simnet::{Duration, NodeState, Rng64, Sim, Time, Zipf};
+use simnet::{CounterId, Duration, NodeState, Rng64, Sim, Time, Zipf};
 
 use chord::NodeRef;
 
@@ -31,6 +31,9 @@ struct SpecInner {
     mean_think_us: f64,
     mix: EditMix,
     horizon: Time,
+    /// Pre-registered handle (PR-2 metrics discipline: fixed-name counters
+    /// never do by-name lookups at fire time).
+    edits_issued: CounterId,
 }
 
 /// Attach an editor loop to each of `peers`. Each editor gets its own
@@ -42,6 +45,7 @@ pub fn drive_editors(sim: &mut Sim<Payload>, peers: &[NodeRef], spec: &EditorSpe
         mean_think_us: spec.mean_think.as_micros() as f64,
         mix: spec.mix.clone(),
         horizon: spec.horizon,
+        edits_issued: sim.metrics_mut().register_counter("workload.edits_issued"),
     });
     let mut seeder = Rng64::new(seed);
     for &peer in peers {
@@ -81,7 +85,7 @@ fn schedule_step(
                 });
                 if let Some(new_text) = edit {
                     s.send_external(peer.addr, Payload::Cmd(UserCmd::Edit { doc, new_text }));
-                    s.metrics_mut().incr("workload.edits_issued");
+                    s.metrics_mut().incr_id(spec.edits_issued);
                 }
             }
             let gap = Duration::from_micros(rng.exp_mean(spec.mean_think_us).max(1.0) as u64);
