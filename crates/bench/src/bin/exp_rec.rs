@@ -1,0 +1,350 @@
+//! **Recovery harness — crash-restart cost over the durable store.**
+//!
+//! Two measurements, both appended to `BENCH_hotpath.json` under the
+//! `recovery` key (the CI schema check validates them):
+//!
+//! 1. **Sweep** — synthetic journals of realistic entries (encoded
+//!    `LogRecord` puts + KTS table updates) are written through the file
+//!    backend at several sizes × checkpoint intervals; for each we time
+//!    the three recovery phases separately: `open_ms` (segment replay +
+//!    CRC + Merkle verification), `rebuild_ms` (journal → final tables),
+//!    and report replayed entries/sec. This is the figure that answers
+//!    "how long is a master-key peer down after a crash, as a function of
+//!    its log size and checkpoint cadence?".
+//! 2. **End-to-end** — a 10-peer simulated network where every peer
+//!    journals to an in-memory store; the document's master crashes after
+//!    four grants and restarts from its own journal. The run must pass
+//!    the standard invariant footer (continuity / total order /
+//!    convergence) — a recovery number from a broken run is worthless.
+//!
+//! Run: `cargo run -p ltr_bench --release --bin exp_rec`
+//! Flags: `--quick` (small sweep, CI smoke), `--out PATH` (default
+//! `BENCH_hotpath.json`; the `recovery` key is merged into an existing
+//! file, or a skeleton is created).
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use bytes::Bytes;
+use ltr_bench::{ok, print_table};
+use p2p_ltr::harness::LtrNet;
+use p2p_ltr::LtrConfig;
+use simnet::{Duration, NetConfig, Rng64};
+use store::{FileStore, RecoveredState, Store, StoreConfig, StoreEntry};
+
+struct SweepPoint {
+    entries: u64,
+    checkpoint_every: u64,
+    bytes: u64,
+    segments: u64,
+    write_ms: f64,
+    open_ms: f64,
+    rebuild_ms: f64,
+    replay_entries_per_sec: f64,
+    verified: bool,
+}
+
+struct E2e {
+    peers: usize,
+    grants_before: u64,
+    grants_total: u64,
+    restart_entries: u64,
+    recover_ms: f64,
+    continuity: bool,
+    converged: bool,
+}
+
+/// A realistic journal: every "grant" contributes one stored log record
+/// (`h1..h3` placement means a peer holds ~the record once) plus a KTS
+/// table update; a document opens every ~2k entries.
+fn synth_entries(n: u64, seed: u64) -> Vec<StoreEntry> {
+    let mut rng = Rng64::new(seed);
+    let mut out = Vec::with_capacity(n as usize);
+    let mut ts = 0u64;
+    for i in 0..n {
+        let doc = format!("bench/doc-{}", i / 2048);
+        if i % 2048 == 0 {
+            out.push(StoreEntry::DocOpen {
+                doc: chord::DocName::new(&doc),
+                initial: "seed text for the benchmark document".into(),
+            });
+            continue;
+        }
+        ts += 1;
+        if i % 2 == 0 {
+            let patch: Vec<u8> = (0..120 + rng.gen_below(80))
+                .map(|_| rng.gen_below(256) as u8)
+                .collect();
+            let rec =
+                p2plog::LogRecord::new(doc.as_str(), ts, 1 + rng.gen_below(8), Bytes::from(patch));
+            out.push(StoreEntry::PutPrimary {
+                key: p2plog::log_locations(3, &chord::DocName::new(&doc), ts)[0],
+                value: rec.encode(),
+            });
+        } else {
+            out.push(StoreEntry::KtsAuth {
+                entry: kts::HandoffEntry {
+                    key: p2plog::ht(&doc),
+                    key_name: chord::DocName::new(&doc),
+                    last_ts: ts,
+                    epoch: 1,
+                },
+            });
+        }
+    }
+    out
+}
+
+fn run_sweep_point(entries: u64, checkpoint_every: u64, seed: u64) -> SweepPoint {
+    let dir = std::env::temp_dir().join(format!(
+        "p2pltr-exprec-{}-{entries}-{checkpoint_every}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = StoreConfig {
+        segment_max_bytes: 256 * 1024,
+        checkpoint_every,
+    };
+    let journal = synth_entries(entries, seed);
+
+    let t = Instant::now();
+    let (mut s, _) = FileStore::open(&dir, cfg).expect("create store");
+    for e in &journal {
+        s.append(e).expect("append");
+    }
+    s.checkpoint().expect("final checkpoint");
+    drop(s);
+    let write_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    let (s2, replay) = FileStore::open(&dir, cfg).expect("recovery open");
+    let open_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(replay.stats.entries, entries, "all entries replayed");
+
+    let t = Instant::now();
+    let state = RecoveredState::rebuild(&replay.entries);
+    let rebuild_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert!(state.item_count() > 0);
+
+    let point = SweepPoint {
+        entries,
+        checkpoint_every,
+        bytes: replay.stats.bytes,
+        segments: replay.stats.segments,
+        write_ms,
+        open_ms,
+        rebuild_ms,
+        replay_entries_per_sec: if open_ms > 0.0 {
+            entries as f64 / (open_ms / 1e3)
+        } else {
+            0.0
+        },
+        verified: replay.stats.verified_entries == Some(entries),
+    };
+    drop(s2);
+    let _ = std::fs::remove_dir_all(&dir);
+    point
+}
+
+fn run_e2e(seed: u64) -> E2e {
+    const DOC: &str = "wiki/Main";
+    let peers_n = 10;
+    let mut net = LtrNet::build_with_stores(
+        seed,
+        NetConfig::lan(),
+        peers_n,
+        LtrConfig::default(),
+        Duration::from_millis(150),
+        |_| Box::new(store::MemStore::new()),
+    );
+    net.settle(23);
+    let peers = net.peers.clone();
+    net.open_doc(&peers, DOC, "base");
+    net.settle(1);
+    let grants_before = 4u64;
+    for i in 0..grants_before {
+        let editor = peers[i as usize];
+        let cur = net.node(editor).doc_text(DOC).unwrap();
+        net.edit(editor, DOC, &format!("{cur}\nedit-{i}"));
+        assert!(net.run_until_quiet(&[DOC], 60));
+        net.settle(2);
+    }
+    let master = net.master_of(DOC);
+    net.crash(master);
+    net.settle(6);
+    let t = Instant::now();
+    let report = net.restart_from_store(master).expect("journal replays");
+    let recover_ms = t.elapsed().as_secs_f64() * 1e3;
+    net.settle(20);
+    let editor = peers
+        .iter()
+        .copied()
+        .find(|p| p.addr != master.addr)
+        .unwrap();
+    let cur = net.node(editor).doc_text(DOC).unwrap();
+    net.edit(editor, DOC, &format!("{cur}\nafter-restart"));
+    net.run_until_quiet(&[DOC], 120);
+    net.settle(15);
+    net.run_until_quiet(&[DOC], 60);
+    let cont = p2p_ltr::check_continuity(&net.sim);
+    let conv = p2p_ltr::check_convergence(&net.sim);
+    E2e {
+        peers: peers_n,
+        grants_before,
+        grants_total: cont.last_ts(DOC),
+        restart_entries: report.entries,
+        recover_ms,
+        continuity: cont.is_clean() && cont.last_ts(DOC) == grants_before + 1,
+        converged: conv.is_converged(),
+    }
+}
+
+fn render_recovery_json(sweep: &[SweepPoint], e2e: &E2e) -> String {
+    let mut out = String::new();
+    out.push_str("  \"recovery\": {\n    \"sweep\": [\n");
+    for (i, p) in sweep.iter().enumerate() {
+        let comma = if i + 1 < sweep.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "      {{\"entries\": {}, \"checkpoint_every\": {}, \"bytes\": {}, \
+             \"segments\": {}, \"write_ms\": {:.2}, \"open_ms\": {:.2}, \
+             \"rebuild_ms\": {:.2}, \"replay_entries_per_sec\": {:.0}, \
+             \"verified\": {}}}{}",
+            p.entries,
+            p.checkpoint_every,
+            p.bytes,
+            p.segments,
+            p.write_ms,
+            p.open_ms,
+            p.rebuild_ms,
+            p.replay_entries_per_sec,
+            p.verified,
+            comma,
+        );
+    }
+    out.push_str("    ],\n");
+    let _ = writeln!(
+        out,
+        "    \"e2e\": {{\"peers\": {}, \"grants_before_crash\": {}, \
+         \"grants_total\": {}, \"restart_entries\": {}, \"recover_ms\": {:.2}, \
+         \"continuity\": {}, \"converged\": {}}}",
+        e2e.peers,
+        e2e.grants_before,
+        e2e.grants_total,
+        e2e.restart_entries,
+        e2e.recover_ms,
+        e2e.continuity,
+        e2e.converged,
+    );
+    out.push_str("  }\n");
+    out
+}
+
+/// Merge the `recovery` section into `path`: replace an existing section
+/// (exp_rec re-runs) or splice before the final `}`; write a skeleton when
+/// the file does not exist (exp_perf normally creates it first).
+fn merge_into_bench_json(path: &PathBuf, recovery: &str) {
+    let body = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end();
+            // Drop a previous recovery section (always the last key, by
+            // construction of this merge).
+            let head = match trimmed.find(",\n  \"recovery\": {") {
+                Some(at) => &trimmed[..at],
+                None => trimmed
+                    .strip_suffix('}')
+                    .map(str::trim_end)
+                    .unwrap_or(trimmed),
+            };
+            format!("{head},\n{recovery}}}\n")
+        }
+        Err(_) => format!(
+            "{{\n  \"schema\": \"p2p-ltr/bench-hotpath/v1\",\n  \"quick\": true,\n  \
+             \"scenarios\": [],\n  \"totals\": {{}},\n{recovery}}}\n"
+        ),
+    };
+    std::fs::write(path, body).expect("write BENCH json");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = PathBuf::from(
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+            .unwrap_or("BENCH_hotpath.json"),
+    );
+
+    let matrix: Vec<(u64, u64)> = if quick {
+        vec![(500, 64), (2_000, 64)]
+    } else {
+        vec![
+            (1_000, 16),
+            (1_000, 256),
+            (4_000, 16),
+            (4_000, 256),
+            (16_000, 16),
+            (16_000, 256),
+        ]
+    };
+    let mut sweep = Vec::with_capacity(matrix.len());
+    for (i, (entries, every)) in matrix.iter().enumerate() {
+        sweep.push(run_sweep_point(*entries, *every, 0x2EC0 + i as u64));
+    }
+    print_table(
+        "recovery sweep: replay+verify cost vs journal size and checkpoint interval",
+        &[
+            "entries",
+            "ckpt",
+            "KiB",
+            "segs",
+            "write ms",
+            "open ms",
+            "rebuild ms",
+            "entries/s",
+            "merkle",
+        ],
+        &sweep
+            .iter()
+            .map(|p| {
+                vec![
+                    p.entries.to_string(),
+                    p.checkpoint_every.to_string(),
+                    format!("{}", p.bytes / 1024),
+                    p.segments.to_string(),
+                    format!("{:.2}", p.write_ms),
+                    format!("{:.2}", p.open_ms),
+                    format!("{:.2}", p.rebuild_ms),
+                    format!("{:.0}", p.replay_entries_per_sec),
+                    ok(p.verified),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let e2e = run_e2e(0xE2E);
+    println!(
+        "\ne2e: {} peers, master crashed after {} grants, restarted from {} journal entries \
+         in {:.2} ms; sequence continued to ts={}; continuity={} converged={}",
+        e2e.peers,
+        e2e.grants_before,
+        e2e.restart_entries,
+        e2e.recover_ms,
+        e2e.grants_total,
+        ok(e2e.continuity),
+        ok(e2e.converged),
+    );
+
+    let recovery = render_recovery_json(&sweep, &e2e);
+    merge_into_bench_json(&out_path, &recovery);
+    println!("\nmerged recovery metrics into {}", out_path.display());
+
+    let all_ok = e2e.continuity && e2e.converged && sweep.iter().all(|p| p.verified);
+    if !all_ok {
+        eprintln!("WARNING: a recovery invariant failed");
+        std::process::exit(1);
+    }
+}

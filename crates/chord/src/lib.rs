@@ -42,4 +42,4 @@ pub use events::{Action, ChordEvent, ChordTimer};
 pub use id::{Id, M};
 pub use msg::{ChordMsg, NodeRef, OpId, PutMode};
 pub use node::ChordNode;
-pub use storage::Storage;
+pub use storage::{Storage, StorageDelta};

@@ -1,7 +1,7 @@
 //! SHA-1 (FIPS 180-1), implemented from scratch.
 //!
 //! The paper locates Master-key peers and Log-Peers by hashing document
-//! names/keys with SHA-1 (reference [11] of RR-6497 is the Secure Hash
+//! names/keys with SHA-1 (reference \[11\] of RR-6497 is the Secure Hash
 //! Standard). No SHA crate is in the offline dependency set, so we implement
 //! the 1995 standard directly; it is ~100 lines and exhaustively tested
 //! against the official test vectors.

@@ -11,11 +11,46 @@ use bytes::Bytes;
 
 use crate::id::Id;
 
+/// One observed mutation of a [`Storage`] — the journaling upcall the
+/// durability layer (the `store` crate) consumes. Deltas are recorded only
+/// while journaling is enabled ([`Storage::set_journaling`]), so the
+/// default path pays nothing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StorageDelta {
+    /// An item was stored (or overwritten) in the primary bucket.
+    PutPrimary {
+        /// The key.
+        key: Id,
+        /// The stored value.
+        value: Bytes,
+    },
+    /// An item was stored (or overwritten) in the replica bucket.
+    PutReplica {
+        /// The key.
+        key: Id,
+        /// The stored value.
+        value: Bytes,
+    },
+    /// An item left the primary bucket.
+    DelPrimary {
+        /// The key.
+        key: Id,
+    },
+    /// An item left the replica bucket.
+    DelReplica {
+        /// The key.
+        key: Id,
+    },
+}
+
 /// Primary + replica item store for one node.
 #[derive(Clone, Debug, Default)]
 pub struct Storage {
     primary: BTreeMap<Id, Bytes>,
     replica: BTreeMap<Id, Bytes>,
+    /// Record mutations as [`StorageDelta`]s for the embedding layer.
+    journaling: bool,
+    deltas: Vec<StorageDelta>,
 }
 
 /// Extract the keys of `map` lying in the clockwise arc `(from, to]`,
@@ -47,8 +82,35 @@ impl Storage {
         Self::default()
     }
 
+    /// Turn mutation journaling on or off. While on, every bucket change
+    /// is mirrored as a [`StorageDelta`]; the embedding layer drains them
+    /// with [`Storage::take_deltas`] after each protocol upcall and
+    /// appends them to its durable store.
+    pub fn set_journaling(&mut self, on: bool) {
+        self.journaling = on;
+        if !on {
+            self.deltas.clear();
+        }
+    }
+
+    /// Drain the deltas recorded since the last call.
+    pub fn take_deltas(&mut self) -> Vec<StorageDelta> {
+        std::mem::take(&mut self.deltas)
+    }
+
+    #[inline]
+    fn journal(&mut self, delta: impl FnOnce() -> StorageDelta) {
+        if self.journaling {
+            self.deltas.push(delta());
+        }
+    }
+
     /// Store as primary (unconditional overwrite).
     pub fn put_primary(&mut self, key: Id, value: Bytes) {
+        self.journal(|| StorageDelta::PutPrimary {
+            key,
+            value: value.clone(),
+        });
         self.primary.insert(key, value);
     }
 
@@ -58,6 +120,10 @@ impl Storage {
         match self.primary.get(&key) {
             Some(existing) if *existing != value => Err(existing.clone()),
             _ => {
+                self.journal(|| StorageDelta::PutPrimary {
+                    key,
+                    value: value.clone(),
+                });
                 self.primary.insert(key, value);
                 Ok(())
             }
@@ -66,6 +132,10 @@ impl Storage {
 
     /// Store a replica copy.
     pub fn put_replica(&mut self, key: Id, value: Bytes) {
+        self.journal(|| StorageDelta::PutReplica {
+            key,
+            value: value.clone(),
+        });
         self.replica.insert(key, value);
     }
 
@@ -98,6 +168,11 @@ impl Storage {
             .map(|k| {
                 let v = self.primary.remove(&k).expect("key listed but missing");
                 // Keep a replica copy: we are the new owner's successor.
+                self.journal(|| StorageDelta::DelPrimary { key: k });
+                self.journal(|| StorageDelta::PutReplica {
+                    key: k,
+                    value: v.clone(),
+                });
                 self.replica.insert(k, v.clone());
                 (k, v)
             })
@@ -111,6 +186,13 @@ impl Storage {
         let n = keys.len();
         for k in keys {
             let v = self.replica.remove(&k).expect("key listed but missing");
+            self.journal(|| StorageDelta::DelReplica { key: k });
+            if !self.primary.contains_key(&k) {
+                self.journal(|| StorageDelta::PutPrimary {
+                    key: k,
+                    value: v.clone(),
+                });
+            }
             self.primary.entry(k).or_insert(v);
         }
         n
@@ -123,6 +205,7 @@ impl Storage {
         let n = keys.len();
         for k in keys {
             self.replica.remove(&k);
+            self.journal(|| StorageDelta::DelReplica { key: k });
         }
         n
     }
@@ -151,6 +234,12 @@ impl Storage {
     pub fn remove(&mut self, key: Id) -> bool {
         let a = self.primary.remove(&key).is_some();
         let b = self.replica.remove(&key).is_some();
+        if a {
+            self.journal(|| StorageDelta::DelPrimary { key });
+        }
+        if b {
+            self.journal(|| StorageDelta::DelReplica { key });
+        }
         a || b
     }
 }
@@ -281,6 +370,62 @@ mod tests {
         s.put_replica(Id(10), b("old"));
         s.promote_replicas_in_range(Id(0), Id(20));
         assert_eq!(s.get_primary(Id(10)), Some(&b("new")));
+    }
+
+    #[test]
+    fn journaling_mirrors_every_mutation() {
+        let mut s = Storage::new();
+        // Off by default: no deltas, no cost.
+        s.put_primary(Id(1), b("a"));
+        assert!(s.take_deltas().is_empty());
+
+        s.set_journaling(true);
+        s.put_primary(Id(1), b("a2"));
+        s.put_replica(Id(2), b("r"));
+        assert!(s.put_primary_first_writer(Id(3), b("fw")).is_ok());
+        assert!(s.put_primary_first_writer(Id(3), b("other")).is_err());
+        s.remove(Id(1));
+        let deltas = s.take_deltas();
+        assert_eq!(
+            deltas,
+            vec![
+                StorageDelta::PutPrimary {
+                    key: Id(1),
+                    value: b("a2")
+                },
+                StorageDelta::PutReplica {
+                    key: Id(2),
+                    value: b("r")
+                },
+                StorageDelta::PutPrimary {
+                    key: Id(3),
+                    value: b("fw")
+                },
+                StorageDelta::DelPrimary { key: Id(1) },
+            ]
+        );
+        assert!(s.take_deltas().is_empty(), "drained");
+
+        // Range ops journal per-key moves.
+        s.promote_replicas_in_range(Id(0), Id(10));
+        let deltas = s.take_deltas();
+        assert_eq!(
+            deltas,
+            vec![
+                StorageDelta::DelReplica { key: Id(2) },
+                StorageDelta::PutPrimary {
+                    key: Id(2),
+                    value: b("r")
+                },
+            ]
+        );
+        s.extract_primary_range(Id(1), Id(3));
+        let deltas = s.take_deltas();
+        assert!(deltas.contains(&StorageDelta::DelPrimary { key: Id(2) }));
+        assert!(deltas.contains(&StorageDelta::PutReplica {
+            key: Id(2),
+            value: b("r")
+        }));
     }
 
     #[test]

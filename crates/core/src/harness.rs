@@ -3,11 +3,32 @@
 //! peers, store/retrieve data, monitor the data stored at each peer").
 
 use chord::{Id, NodeRef};
-use simnet::{Duration, NetConfig, NodeId, Sim, Time};
+use simnet::{Duration, NetConfig, NodeId, NodeState, Sim, Time};
+use store::{RecoveredState, Store, StoreError};
 
 use crate::config::LtrConfig;
 use crate::node::LtrNode;
 use crate::payload::{Payload, UserCmd};
+
+/// What a crash-with-disk local recovery found and rebuilt
+/// (see [`LtrNet::restart_from_store`]).
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// Journal entries replayed from the store.
+    pub entries: u64,
+    /// Bytes dropped from a torn final record (0 = clean shutdown).
+    pub torn_bytes: u64,
+    /// Entries covered by a verified Merkle checkpoint (file backend).
+    pub verified_entries: Option<u64>,
+    /// Log items restored into the DHT storage (primary + replica).
+    pub log_items: usize,
+    /// Authoritative timestamp-table entries restored.
+    pub kts_entries: usize,
+    /// Backup entries restored.
+    pub kts_backups: usize,
+    /// Documents reopened.
+    pub docs: usize,
+}
 
 /// A built network plus the handles the experiments need.
 pub struct LtrNet {
@@ -22,7 +43,23 @@ pub struct LtrNet {
 impl LtrNet {
     /// Build `n` peers with deterministic ids; joins staggered by
     /// `join_gap`. Run [`LtrNet::settle`] before using the network.
+    /// Durability is off (every peer gets a `NullStore`).
     pub fn build(seed: u64, net: NetConfig, n: usize, cfg: LtrConfig, join_gap: Duration) -> Self {
+        Self::build_with_stores(seed, net, n, cfg, join_gap, |_| Box::new(store::NullStore))
+    }
+
+    /// [`LtrNet::build`] with a per-peer durable store: `store_for(i)`
+    /// supplies peer `i`'s journal (e.g. a `MemStore` handle kept by the
+    /// test, or a `FileStore` in a scratch directory), enabling
+    /// crash-with-disk restarts via [`LtrNet::restart_from_store`].
+    pub fn build_with_stores(
+        seed: u64,
+        net: NetConfig,
+        n: usize,
+        cfg: LtrConfig,
+        join_gap: Duration,
+        mut store_for: impl FnMut(usize) -> Box<dyn Store>,
+    ) -> Self {
         assert!(n >= 1);
         let mut sim = Sim::new(seed, net);
         let mut peers = Vec::with_capacity(n);
@@ -35,7 +72,13 @@ impl LtrNet {
                 None => (None, Duration::ZERO),
                 Some(f) => (Some(f), join_gap * i as u64),
             };
-            let assigned = sim.add_node(LtrNode::new(me, cfg.clone(), bootstrap, delay));
+            let assigned = sim.add_node(LtrNode::with_store(
+                me,
+                cfg.clone(),
+                bootstrap,
+                delay,
+                store_for(i),
+            ));
             assert_eq!(assigned, addr);
             if first.is_none() {
                 first = Some(me);
@@ -61,6 +104,11 @@ impl LtrNet {
 
     /// Add one more peer now (joins immediately via the first peer).
     pub fn add_peer(&mut self, name: &str) -> NodeRef {
+        self.add_peer_with_store(name, Box::new(store::NullStore))
+    }
+
+    /// [`LtrNet::add_peer`] with a durable store for the new peer.
+    pub fn add_peer_with_store(&mut self, name: &str, store: Box<dyn Store>) -> NodeRef {
         let id = Id::hash(name.as_bytes());
         let addr = NodeId(self.sim.node_count() as u32);
         let me = NodeRef::new(addr, id);
@@ -69,11 +117,12 @@ impl LtrNet {
             .first()
             .copied()
             .expect("network has at least one live peer");
-        let assigned = self.sim.add_node(LtrNode::new(
+        let assigned = self.sim.add_node(LtrNode::with_store(
             me,
             self.cfg.clone(),
             Some(bootstrap),
             Duration::ZERO,
+            store,
         ));
         assert_eq!(assigned, addr);
         self.peers.push(me);
@@ -138,6 +187,50 @@ impl LtrNet {
     /// Crash-stop a peer.
     pub fn crash(&mut self, peer: NodeRef) {
         self.sim.crash(peer.addr);
+    }
+
+    /// Restart a crashed peer from its own durable store: replay + verify
+    /// the journal the dead incarnation wrote, rebuild its key table,
+    /// timestamp state, log items and open documents, and rejoin the ring
+    /// through a surviving peer — the paper's availability story extended
+    /// with a *local* recovery leg (no Master-Succ handoff required).
+    pub fn restart_from_store(&mut self, peer: NodeRef) -> Result<RecoveryReport, StoreError> {
+        assert_eq!(
+            self.sim.node_state(peer.addr),
+            NodeState::Crashed,
+            "restart_from_store needs a crashed peer"
+        );
+        let store = self
+            .sim
+            .node_as::<LtrNode>(peer.addr)
+            .expect("peer is an LtrNode")
+            .store_handle();
+        let replay = store.replay()?;
+        let state = RecoveredState::rebuild(&replay.entries);
+        let report = RecoveryReport {
+            entries: replay.stats.entries,
+            torn_bytes: replay.stats.torn_bytes,
+            verified_entries: replay.stats.verified_entries,
+            log_items: state.primary.len() + state.replica.len(),
+            kts_entries: state.kts_entries.len(),
+            kts_backups: state.kts_backups.len(),
+            docs: state.docs.len(),
+        };
+        let bootstrap = self
+            .alive_peers()
+            .first()
+            .copied()
+            .expect("a surviving peer to rejoin through");
+        let node = LtrNode::recover(
+            peer,
+            self.cfg.clone(),
+            Some(bootstrap),
+            Duration::ZERO,
+            store,
+            state,
+        );
+        self.sim.restart_node(peer.addr, node);
+        Ok(report)
     }
 
     /// Borrow a peer's node state.

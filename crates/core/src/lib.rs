@@ -71,7 +71,7 @@ pub mod wire_impls;
 pub use config::{GcConfig, LtrConfig};
 pub use consistency::{check_continuity, check_convergence, check_total_order};
 pub use events::{LtrEvent, LtrEventKind};
-pub use harness::LtrNet;
+pub use harness::{LtrNet, RecoveryReport};
 pub use node::LtrNode;
 pub use payload::{Payload, UserCmd};
 pub use report::{network_report, summarize, NetworkSummary, PeerReport};

@@ -15,10 +15,11 @@ use std::collections::{BTreeMap, HashMap};
 
 use bytes::Bytes;
 
-use chord::{ChordNode, ChordTimer, NodeRef, OpId};
+use chord::{ChordNode, ChordTimer, NodeRef, OpId, StorageDelta};
 use kts::{KtsMaster, ReqId};
 use p2plog::{DocName, LogProbe, PublishTracker, Retriever};
 use simnet::{CounterId, Ctx, Duration, Metrics, NodeId, Process, Time};
+use store::{NullStore, RecoveredState, Store, StoreEntry};
 
 use crate::config::LtrConfig;
 use crate::events::{LtrEvent, LtrEventKind};
@@ -158,6 +159,8 @@ pub(crate) struct NodeCounters {
     pub kts_probes_started: CounterId,
     pub log_publishes: CounterId,
     pub log_gc_removed: CounterId,
+    pub store_appends: CounterId,
+    pub store_append_errors: CounterId,
 }
 
 impl NodeCounters {
@@ -194,6 +197,8 @@ impl NodeCounters {
             kts_probes_started: m.register_counter("kts.probes_started"),
             log_publishes: m.register_counter("log.publishes"),
             log_gc_removed: m.register_counter("log.gc_removed"),
+            store_appends: m.register_counter("store.appends"),
+            store_append_errors: m.register_counter("store.append_errors"),
         }
     }
 }
@@ -209,6 +214,12 @@ pub struct LtrNode {
 
     pub(crate) chord: ChordNode,
     pub(crate) kts: KtsMaster,
+
+    /// The durable journal (see the `store` crate). [`store::NullStore`]
+    /// by default: journaling entirely disabled, behaviour byte-identical.
+    pub(crate) store: Box<dyn Store>,
+    /// Cached `store.is_recording()` — the hot-path guard.
+    pub(crate) journaling: bool,
 
     // BTreeMap: tick_sync issues lookups in iteration order, which must be
     // deterministic for reproducible runs.
@@ -233,15 +244,34 @@ pub struct LtrNode {
 
 impl LtrNode {
     /// Create a peer. `bootstrap` is `None` only for the first node of the
-    /// network; `start_delay` staggers joins.
+    /// network; `start_delay` staggers joins. Durability is off: the node
+    /// journals to a [`store::NullStore`].
     pub fn new(
         me: NodeRef,
         cfg: LtrConfig,
         bootstrap: Option<NodeRef>,
         start_delay: Duration,
     ) -> Self {
-        let chord = ChordNode::new(me, cfg.chord.clone());
+        Self::with_store(me, cfg, bootstrap, start_delay, Box::new(NullStore))
+    }
+
+    /// Create a peer journaling its durable state to `store`. Every log
+    /// item it stores, every timestamp-table change and every document
+    /// open is appended as a [`StoreEntry`]; a crashed peer restarts from
+    /// the result via [`LtrNode::recover`].
+    pub fn with_store(
+        me: NodeRef,
+        cfg: LtrConfig,
+        bootstrap: Option<NodeRef>,
+        start_delay: Duration,
+        store: Box<dyn Store>,
+    ) -> Self {
+        let mut chord = ChordNode::new(me, cfg.chord.clone());
         let kts = KtsMaster::new(cfg.kts.clone());
+        let journaling = store.is_recording();
+        if journaling {
+            chord.storage_mut().set_journaling(true);
+        }
         LtrNode {
             me,
             site: me.addr.0 as u64 + 1,
@@ -250,6 +280,8 @@ impl LtrNode {
             start_delay,
             chord,
             kts,
+            store,
+            journaling,
             docs: BTreeMap::new(),
             req_seq: 0,
             validate_reqs: HashMap::new(),
@@ -262,6 +294,54 @@ impl LtrNode {
             counters: None,
             events: Vec::new(),
         }
+    }
+
+    /// Rebuild a crashed peer from its own durable store: the recovered
+    /// key table and backups seed the KTS master (re-verified against the
+    /// log before first use), recovered log items seed the DHT storage,
+    /// and recovered documents reopen on their initial text — the
+    /// retrieval procedure then re-integrates every validated patch from
+    /// the P2P-Log, so the replica converges without any peer handing
+    /// state over.
+    ///
+    /// `store` is typically a fresh handle onto what the dead incarnation
+    /// wrote; `state` is `RecoveredState::rebuild` of its replay.
+    pub fn recover(
+        me: NodeRef,
+        cfg: LtrConfig,
+        bootstrap: Option<NodeRef>,
+        start_delay: Duration,
+        store: Box<dyn Store>,
+        state: RecoveredState,
+    ) -> Self {
+        let mut node = Self::with_store(me, cfg, bootstrap, start_delay, store);
+        for (k, v) in state.primary {
+            node.chord.storage_mut().put_primary(k, v);
+        }
+        for (k, v) in state.replica {
+            node.chord.storage_mut().put_replica(k, v);
+        }
+        // The seed mutations are already in the journal (the dead
+        // incarnation wrote them); do not journal them again.
+        let _ = node.chord.storage_mut().take_deltas();
+        node.kts.restore_entries(state.kts_entries);
+        node.kts.restore_backups(state.kts_backups);
+        for (doc, initial) in state.docs {
+            let replica = ot::Replica::new(node.site, ot::Document::from_text(&initial));
+            node.docs.insert(
+                doc.clone(),
+                DocState {
+                    key: p2plog::ht(&doc),
+                    name: doc,
+                    replica,
+                    phase: UserPhase::Idle,
+                    inflight: None,
+                    retr: None,
+                    cycle_started: None,
+                },
+            );
+        }
+        node
     }
 
     // ---- public inspection API (examples, tests, experiments) ----------
@@ -284,6 +364,17 @@ impl LtrNode {
     /// Immutable view of the timestamp service state.
     pub fn kts(&self) -> &KtsMaster {
         &self.kts
+    }
+
+    /// A fresh handle onto this peer's durable store — how a crash/restart
+    /// harness reopens what a dead incarnation wrote.
+    pub fn store_handle(&self) -> Box<dyn Store> {
+        self.store.handle()
+    }
+
+    /// True when this peer journals its durable state (non-null backend).
+    pub fn is_journaling(&self) -> bool {
+        self.journaling
     }
 
     /// The user-visible text of an open document.
@@ -343,6 +434,37 @@ impl LtrNode {
     #[inline]
     pub(crate) fn c(&self) -> NodeCounters {
         self.counters.expect("counters registered in on_start")
+    }
+
+    /// Append one entry to the durable journal (no-op with the default
+    /// [`NullStore`]). Append failures are counted, never fatal: a peer
+    /// with a sick disk keeps serving, it just loses crash durability.
+    pub(crate) fn persist(&mut self, ctx: &mut Ctx<'_, Payload>, entry: &StoreEntry) {
+        if !self.journaling {
+            return;
+        }
+        let c = self.c();
+        match self.store.append(entry) {
+            Ok(()) => ctx.metrics().incr_id(c.store_appends),
+            Err(_) => ctx.metrics().incr_id(c.store_append_errors),
+        }
+    }
+
+    /// Drain the DHT storage mutations recorded during the last upcall
+    /// into the journal (called at the end of every `Process` upcall).
+    pub(crate) fn flush_storage_journal(&mut self, ctx: &mut Ctx<'_, Payload>) {
+        if !self.journaling {
+            return;
+        }
+        for delta in self.chord.storage_mut().take_deltas() {
+            let entry = match delta {
+                StorageDelta::PutPrimary { key, value } => StoreEntry::PutPrimary { key, value },
+                StorageDelta::PutReplica { key, value } => StoreEntry::PutReplica { key, value },
+                StorageDelta::DelPrimary { key } => StoreEntry::DelPrimary { key },
+                StorageDelta::DelReplica { key } => StoreEntry::DelReplica { key },
+            };
+            self.persist(ctx, &entry);
+        }
     }
 
     /// Arm a core-layer timer (odd tags; chord uses even tags).
@@ -416,6 +538,9 @@ impl LtrNode {
             self.apply_master_actions(ctx, acts);
             if !entries.is_empty() {
                 let count = entries.len();
+                for e in &entries {
+                    self.persist(ctx, &StoreEntry::KtsDemote { key: e.key });
+                }
                 ctx.send(
                     succ.addr,
                     Payload::Kts(kts::KtsMsg::TableHandoff { entries }),
@@ -438,6 +563,7 @@ impl Process<Payload> for LtrNode {
             let delay = self.start_delay;
             self.arm_core_timer(ctx, delay, CoreTimer::Start);
         }
+        self.flush_storage_journal(ctx);
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, Payload>, from: NodeId, msg: Payload) {
@@ -449,6 +575,7 @@ impl Process<Payload> for LtrNode {
             Payload::Kts(m) => self.on_kts_msg(ctx, from, m),
             Payload::Cmd(cmd) => self.on_user_cmd(ctx, cmd),
         }
+        self.flush_storage_journal(ctx);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Payload>, tag: u64) {
@@ -461,11 +588,13 @@ impl Process<Payload> for LtrNode {
         } else if let Some(timer) = self.timer_tags.remove(&tag) {
             self.on_core_timer(ctx, timer);
         }
+        self.flush_storage_journal(ctx);
     }
 
     fn on_stop(&mut self, ctx: &mut Ctx<'_, Payload>) {
         if self.chord.is_joined() {
             self.graceful_leave(ctx);
         }
+        self.flush_storage_journal(ctx);
     }
 }

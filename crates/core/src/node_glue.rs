@@ -99,6 +99,9 @@ impl LtrNode {
                     self.apply_master_actions(ctx, acts);
                     if !entries.is_empty() {
                         let count = entries.len();
+                        for e in &entries {
+                            self.persist(ctx, &store::StoreEntry::KtsDemote { key: e.key });
+                        }
                         ctx.send(
                             new_pred.addr,
                             Payload::Kts(kts::KtsMsg::TableHandoff { entries }),

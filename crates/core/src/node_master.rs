@@ -38,16 +38,26 @@ impl LtrNode {
                 last_ts,
                 epoch,
             } => {
-                self.kts.on_replicate_entry(kts::HandoffEntry {
+                let entry = kts::HandoffEntry {
                     key,
                     key_name,
                     last_ts,
                     epoch,
-                });
+                };
+                self.persist(
+                    ctx,
+                    &store::StoreEntry::KtsBackup {
+                        entry: entry.clone(),
+                    },
+                );
+                self.kts.on_replicate_entry(entry);
                 ctx.metrics().incr_id(self.c().kts_backup_entries_received);
             }
             KtsMsg::TableHandoff { entries } => {
                 let count = entries.len();
+                for e in &entries {
+                    self.persist(ctx, &store::StoreEntry::KtsAuth { entry: e.clone() });
+                }
                 let acts = self.kts.on_table_handoff(entries);
                 self.apply_master_actions(ctx, acts);
                 self.record(ctx.now(), LtrEventKind::TableReceived { count });
@@ -96,6 +106,14 @@ impl LtrNode {
                     self.pump_probe(ctx, token);
                 }
                 MasterAction::ReplicateToSucc { entry } => {
+                    // The entry snapshot is exactly what changed in our
+                    // authoritative table: the durable record of the grant.
+                    self.persist(
+                        ctx,
+                        &store::StoreEntry::KtsAuth {
+                            entry: entry.clone(),
+                        },
+                    );
                     let succ = self.chord.successor();
                     if succ.addr != self.me.addr {
                         ctx.send(

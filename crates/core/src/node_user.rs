@@ -39,6 +39,13 @@ impl LtrNode {
             return;
         }
         let doc = DocName::from(doc);
+        self.persist(
+            ctx,
+            &store::StoreEntry::DocOpen {
+                doc: doc.clone(),
+                initial: initial.clone(),
+            },
+        );
         let replica = ot::Replica::new(self.site, Document::from_text(&initial));
         self.docs.insert(
             doc.clone(),

@@ -542,6 +542,43 @@ impl KtsMaster {
         self.drain()
     }
 
+    // ---- crash recovery --------------------------------------------------
+
+    /// Seed the authoritative table from state recovered off this node's
+    /// own durable store (crash + local restart).
+    ///
+    /// Each entry re-enters with a bumped fencing epoch and — like a
+    /// promoted backup — is re-verified against the log before first use
+    /// when `probe_on_promote` is set: the disk may lag a grant that was
+    /// still replicating when the node died, and another master may have
+    /// granted further timestamps while it was down.
+    pub fn restore_entries(&mut self, entries: Vec<HandoffEntry>) {
+        for e in entries {
+            self.backups.remove(&e.key);
+            self.entries.insert(
+                e.key,
+                KeyEntry {
+                    key_name: e.key_name,
+                    last_ts: e.last_ts,
+                    epoch: e.epoch + 1,
+                    phase: Phase::Ready,
+                    probed: !self.cfg.probe_on_promote,
+                    queue: VecDeque::new(),
+                },
+            );
+        }
+    }
+
+    /// Seed the backup table from recovered state (Master-Succ role).
+    /// Entries never regress a backup already present.
+    pub fn restore_backups(&mut self, entries: Vec<HandoffEntry>) {
+        for e in entries {
+            if !self.entries.contains_key(&e.key) {
+                self.on_replicate_entry(e);
+            }
+        }
+    }
+
     // ---- backups & takeover ---------------------------------------------
 
     /// Store a backup entry pushed by the master we succeed.
@@ -1061,6 +1098,73 @@ mod tests {
         assert_eq!(m.mastered_count(), 1);
         assert_eq!(m.backup_count(), 1);
         assert_eq!(m.last_ts(k1), 1, "backup copy retained");
+    }
+
+    #[test]
+    fn restored_entries_verify_against_log_then_resume_continuity() {
+        // Crash recovery: disk said last_ts=3, but a grant for ts=4 was
+        // in flight when we died. The restored entry must re-probe before
+        // serving and then continue the sequence at 5.
+        let mut m = KtsMaster::new(KtsConfig::default()); // probing on
+        m.restore_entries(vec![HandoffEntry {
+            key: key(),
+            key_name: "doc".into(),
+            last_ts: 3,
+            epoch: 2,
+        }]);
+        assert_eq!(m.last_ts(key()), 3);
+        assert_eq!(m.mastered_count(), 1);
+        let acts = m.on_validate(
+            key(),
+            &DocName::new("doc"),
+            ReqId(1),
+            4,
+            patch(),
+            user(1),
+            true,
+        );
+        let probe_token = acts
+            .iter()
+            .find_map(|a| match a {
+                MasterAction::BeginProbe { token, .. } => Some(*token),
+                _ => None,
+            })
+            .expect("restored entry must probe before first grant");
+        let acts = m.probe_done(probe_token, 4);
+        let t = publish_token(&acts);
+        let acts = m.publish_done(t, PublishOutcome::Ok);
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, MasterAction::Send(_, KtsMsg::Granted { ts: 5, .. }))));
+    }
+
+    #[test]
+    fn restored_backups_do_not_shadow_authoritative_entries() {
+        let mut m = KtsMaster::new(cfg_no_probe());
+        m.restore_entries(vec![HandoffEntry {
+            key: key(),
+            key_name: "doc".into(),
+            last_ts: 9,
+            epoch: 1,
+        }]);
+        m.restore_backups(vec![
+            HandoffEntry {
+                key: key(), // already authoritative: ignored
+                key_name: "doc".into(),
+                last_ts: 2,
+                epoch: 1,
+            },
+            HandoffEntry {
+                key: Id(77),
+                key_name: "other".into(),
+                last_ts: 4,
+                epoch: 1,
+            },
+        ]);
+        assert_eq!(m.mastered_count(), 1);
+        assert_eq!(m.backup_count(), 1);
+        assert_eq!(m.last_ts(key()), 9);
+        assert_eq!(m.last_ts(Id(77)), 4);
     }
 
     #[test]

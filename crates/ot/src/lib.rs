@@ -12,7 +12,7 @@
 //!   deletes (divergence becomes a loud [`op::OtError::ContentMismatch`]);
 //! * [`transform`] — inclusion transformation with the TP1 property
 //!   (property-tested), and sequence⨯sequence transforms;
-//! * [`diff`] — prefix/suffix-trimmed LCS line diff, turning saves into
+//! * [`mod@diff`] — prefix/suffix-trimmed LCS line diff, turning saves into
 //!   patches;
 //! * [`patch::Patch`] + a compact binary codec (DHT value payloads);
 //! * [`merge::Replica`] — the per-site engine: edit, integrate remote

@@ -11,7 +11,10 @@
 //!   machines receiving a capability handle ([`Ctx`]);
 //! * **network model** ([`NetConfig`]): constant / uniform / log-normal
 //!   latency, Bernoulli loss, pairwise partitions;
-//! * **churn**: crash-stop ([`Sim::crash`]), graceful departure
+//! * **churn**: crash-stop ([`Sim::crash`]), crash-with-disk restart
+//!   ([`Sim::restart_node`] — a replacement process, typically rebuilt
+//!   from a durable store, resumes at the same address with the dead
+//!   incarnation's timers suppressed), graceful departure
 //!   ([`Sim::remove`]) and scripted control events ([`Sim::schedule_at`]);
 //! * **observability**: a [`Metrics`] registry (counters + exact-quantile
 //!   histograms) and optional message tracing;

@@ -33,8 +33,19 @@ pub enum NodeState {
 pub type ControlFn<M> = Box<dyn FnOnce(&mut Sim<M>)>;
 
 enum EventKind<M> {
-    Deliver { to: NodeId, from: NodeId, msg: M },
-    Timer { node: NodeId, id: TimerId, tag: u64 },
+    Deliver {
+        to: NodeId,
+        from: NodeId,
+        msg: M,
+    },
+    Timer {
+        node: NodeId,
+        id: TimerId,
+        tag: u64,
+        /// Incarnation of the node that armed the timer: a timer armed
+        /// before a crash must not fire into a restarted process.
+        epoch: u32,
+    },
     Control(ControlFn<M>),
 }
 
@@ -86,6 +97,11 @@ impl<M, T: Process<M> + Any> ProcessAny<M> for T {
 struct Slot<M> {
     proc: Option<Box<dyn ProcessAny<M>>>,
     state: NodeState,
+    /// Incarnation counter, bumped by [`Sim::restart_node`]. Timers are
+    /// stamped with it so a restarted process never receives the previous
+    /// incarnation's timers (messages still arrive: the network does not
+    /// know the process behind an address was replaced).
+    epoch: u32,
 }
 
 /// Pre-registered handles for the counters the event loop bumps on every
@@ -94,6 +110,7 @@ struct Slot<M> {
 struct HotCounters {
     nodes_added: CounterId,
     crashes: CounterId,
+    restarts: CounterId,
     departures: CounterId,
     msgs_sent: CounterId,
     msgs_delivered: CounterId,
@@ -108,6 +125,7 @@ impl HotCounters {
         HotCounters {
             nodes_added: m.register_counter("sim.nodes_added"),
             crashes: m.register_counter("sim.crashes"),
+            restarts: m.register_counter("sim.restarts"),
             departures: m.register_counter("sim.departures"),
             msgs_sent: m.register_counter("sim.msgs_sent"),
             msgs_delivered: m.register_counter("sim.msgs_delivered"),
@@ -294,6 +312,7 @@ impl<M: std::fmt::Debug + 'static> Sim<M> {
         self.nodes.push(Slot {
             proc: Some(Box::new(proc)),
             state: NodeState::Up,
+            epoch: 0,
         });
         self.metrics.incr_id(self.hot.nodes_added);
         self.dispatch(id, |p, ctx| p.on_start(ctx));
@@ -341,6 +360,31 @@ impl<M: std::fmt::Debug + 'static> Sim<M> {
             slot.state = NodeState::Crashed;
             self.metrics.incr_id(self.hot.crashes);
         }
+    }
+
+    /// Restart a crashed node with a replacement process at the same
+    /// address — the crash-with-disk scenario: the caller builds `proc`
+    /// from whatever the dead incarnation persisted (see the `store`
+    /// crate) and the node rejoins the network locally instead of relying
+    /// on peer-side takeover alone.
+    ///
+    /// The previous incarnation's pending timers are suppressed (they
+    /// belong to the dead process); in-flight *messages* to the address
+    /// are still delivered, exactly as a real network would. `on_start`
+    /// runs at the current simulated time. Panics if the node is not
+    /// crashed.
+    pub fn restart_node<P: Process<M> + Any>(&mut self, id: NodeId, proc: P) {
+        let slot = &mut self.nodes[id.0 as usize];
+        assert_eq!(
+            slot.state,
+            NodeState::Crashed,
+            "only crashed nodes can be restarted"
+        );
+        slot.proc = Some(Box::new(proc));
+        slot.state = NodeState::Up;
+        slot.epoch += 1;
+        self.metrics.incr_id(self.hot.restarts);
+        self.dispatch(id, |p, ctx| p.on_start(ctx));
     }
 
     /// Gracefully remove a node: `on_stop` runs first (its goodbye messages
@@ -453,6 +497,7 @@ impl<M: std::fmt::Debug + 'static> Sim<M> {
             }
         }
         if allow_timers {
+            let epoch = self.nodes[from.0 as usize].epoch;
             for (id, delay, tag) in out.timers {
                 let at = self.now + delay;
                 let seq = self.next_seq();
@@ -463,6 +508,7 @@ impl<M: std::fmt::Debug + 'static> Sim<M> {
                         node: from,
                         id,
                         tag,
+                        epoch,
                     },
                 });
             }
@@ -499,10 +545,16 @@ impl<M: std::fmt::Debug + 'static> Sim<M> {
                     self.metrics.incr_id(self.hot.msgs_to_dead);
                 }
             }
-            EventKind::Timer { node, id, tag } => {
+            EventKind::Timer {
+                node,
+                id,
+                tag,
+                epoch,
+            } => {
+                let slot = &self.nodes[node.0 as usize];
                 if self.cancelled.remove(&id) {
                     self.metrics.incr_id(self.hot.timers_cancelled);
-                } else if self.nodes[node.0 as usize].state == NodeState::Up {
+                } else if slot.state == NodeState::Up && slot.epoch == epoch {
                     self.metrics.incr_id(self.hot.timers_fired);
                     self.dispatch(node, |p, ctx| p.on_timer(ctx, tag));
                 }
@@ -658,6 +710,59 @@ mod tests {
             )
         };
         assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn restart_replaces_process_and_suppresses_stale_timers() {
+        let mut sim = new_sim();
+        let b = sim.add_node(Echo {
+            pongs: 0,
+            ticks: 0,
+            peer: None,
+        });
+        let a = sim.add_node(Echo {
+            pongs: 0,
+            ticks: 0,
+            peer: Some(b),
+        });
+        sim.run_until(Time::from_millis(15)); // one tick; next timer armed
+        sim.crash(a);
+        sim.restart_node(
+            a,
+            Echo {
+                pongs: 0,
+                ticks: 0,
+                peer: Some(b),
+            },
+        );
+        sim.run_until(Time::from_secs(1));
+        let st = sim.node_as::<Echo>(a).unwrap();
+        // Exactly the fresh incarnation's 5 ticks/pings: a leaked timer
+        // from the dead incarnation would produce a 6th ping.
+        assert_eq!(st.ticks, 5);
+        assert_eq!(st.pongs, 5);
+        assert_eq!(sim.node_state(a), NodeState::Up);
+        assert_eq!(sim.metrics().counter("sim.restarts"), 1);
+        assert_eq!(sim.metrics().counter("sim.crashes"), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "only crashed nodes")]
+    fn restart_of_a_live_node_panics() {
+        let mut sim = new_sim();
+        let a = sim.add_node(Echo {
+            pongs: 0,
+            ticks: 0,
+            peer: None,
+        });
+        sim.restart_node(
+            a,
+            Echo {
+                pongs: 0,
+                ticks: 0,
+                peer: None,
+            },
+        );
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! In-memory backends: the zero-cost default and the shared-handle
+//! journal for simulator crash/restart scenarios.
+
+use std::sync::{Arc, Mutex};
+
+use crate::{Replay, ReplayStats, Store, StoreEntry, StoreError};
+
+/// The default store: journaling disabled.
+///
+/// Every `LtrNode` owns a store; with a `NullStore` the node skips all
+/// journaling work (no clones, no pushes), so the default simulation path
+/// is byte-for-byte identical to a build without the store layer at all.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullStore;
+
+impl NullStore {
+    /// The disabled store.
+    pub fn new() -> Self {
+        NullStore
+    }
+}
+
+impl Store for NullStore {
+    fn append(&mut self, _entry: &StoreEntry) -> Result<(), StoreError> {
+        Ok(())
+    }
+    fn replay(&self) -> Result<Replay, StoreError> {
+        Ok(Replay::default())
+    }
+    fn checkpoint(&mut self) -> Result<(), StoreError> {
+        Ok(())
+    }
+    fn handle(&self) -> Box<dyn Store> {
+        Box::new(NullStore)
+    }
+    fn is_recording(&self) -> bool {
+        false
+    }
+    fn entry_count(&self) -> u64 {
+        0
+    }
+    fn describe(&self) -> String {
+        "null".into()
+    }
+}
+
+/// A shared in-memory journal.
+///
+/// Handles clone an `Arc` onto the same entry list, so the journal
+/// survives its writer: crash a simulated peer, take a fresh
+/// [`Store::handle`], replay, and restart the peer from the result —
+/// crash-with-disk semantics without touching the filesystem (and without
+/// perturbing simulator determinism, since appends draw no randomness and
+/// schedule no events).
+#[derive(Clone, Debug, Default)]
+pub struct MemStore {
+    entries: Arc<Mutex<Vec<StoreEntry>>>,
+}
+
+impl MemStore {
+    /// Fresh empty journal.
+    pub fn new() -> Self {
+        MemStore::default()
+    }
+}
+
+impl Store for MemStore {
+    fn append(&mut self, entry: &StoreEntry) -> Result<(), StoreError> {
+        self.entries
+            .lock()
+            .expect("mem store poisoned")
+            .push(entry.clone());
+        Ok(())
+    }
+
+    fn replay(&self) -> Result<Replay, StoreError> {
+        let entries = self.entries.lock().expect("mem store poisoned").clone();
+        let stats = ReplayStats {
+            entries: entries.len() as u64,
+            ..ReplayStats::default()
+        };
+        Ok(Replay { entries, stats })
+    }
+
+    fn checkpoint(&mut self) -> Result<(), StoreError> {
+        Ok(())
+    }
+
+    fn handle(&self) -> Box<dyn Store> {
+        Box::new(self.clone())
+    }
+
+    fn is_recording(&self) -> bool {
+        true
+    }
+
+    fn entry_count(&self) -> u64 {
+        self.entries.lock().expect("mem store poisoned").len() as u64
+    }
+
+    fn describe(&self) -> String {
+        format!("mem({} entries)", self.entry_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use chord::Id;
+
+    #[test]
+    fn null_store_records_nothing() {
+        let mut s = NullStore::new();
+        s.append(&StoreEntry::DelPrimary { key: Id(1) }).unwrap();
+        assert!(!s.is_recording());
+        assert_eq!(s.entry_count(), 0);
+        assert!(s.replay().unwrap().entries.is_empty());
+    }
+
+    #[test]
+    fn mem_store_handles_share_the_journal() {
+        let mut a = MemStore::new();
+        let b = a.handle();
+        a.append(&StoreEntry::PutPrimary {
+            key: Id(3),
+            value: Bytes::from_static(b"x"),
+        })
+        .unwrap();
+        let replay = b.replay().unwrap();
+        assert_eq!(replay.entries.len(), 1);
+        assert_eq!(replay.stats.entries, 1);
+        assert!(b.is_recording());
+    }
+}

@@ -1,0 +1,208 @@
+//! Rebuilding a peer's in-memory state from a replayed journal.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use chord::{DocName, Id};
+use kts::HandoffEntry;
+
+use crate::entry::StoreEntry;
+
+/// The durable state of one peer, reduced from its journal entries — the
+/// input to `LtrNode::recover` in the `p2p_ltr` crate.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveredState {
+    /// Log items this node owned (primary bucket), in key order.
+    pub primary: Vec<(Id, Bytes)>,
+    /// Log items this node replicated (Log-Peer-Succ bucket), in key order.
+    pub replica: Vec<(Id, Bytes)>,
+    /// Authoritative timestamp-table entries (Master-key role), key order.
+    pub kts_entries: Vec<HandoffEntry>,
+    /// Backup entries (Master-Succ role), key order.
+    pub kts_backups: Vec<HandoffEntry>,
+    /// Documents the local user had open: `(name, initial text)`.
+    pub docs: Vec<(DocName, String)>,
+}
+
+impl RecoveredState {
+    /// Reduce `entries` (in append order) to the final state.
+    ///
+    /// The reduction mirrors the live mutations: puts overwrite, deletes
+    /// remove, a demote moves an authoritative entry to the backup table.
+    /// Both KTS tables merge with **max last_ts** — authoritative entries
+    /// because a stale `TableHandoff` can be journaled after a fresher
+    /// grant (the live master merges with max too, and a recovered
+    /// last_ts that is too *low* risks duplicate timestamps), backups
+    /// matching `KtsMaster::on_replicate_entry`.
+    pub fn rebuild(entries: &[StoreEntry]) -> RecoveredState {
+        let mut primary: BTreeMap<Id, Bytes> = BTreeMap::new();
+        let mut replica: BTreeMap<Id, Bytes> = BTreeMap::new();
+        let mut auth: BTreeMap<Id, HandoffEntry> = BTreeMap::new();
+        let mut backup: BTreeMap<Id, HandoffEntry> = BTreeMap::new();
+        let mut docs: BTreeMap<DocName, String> = BTreeMap::new();
+        for e in entries {
+            match e {
+                StoreEntry::PutPrimary { key, value } => {
+                    primary.insert(*key, value.clone());
+                }
+                StoreEntry::PutReplica { key, value } => {
+                    replica.insert(*key, value.clone());
+                }
+                StoreEntry::DelPrimary { key } => {
+                    primary.remove(key);
+                }
+                StoreEntry::DelReplica { key } => {
+                    replica.remove(key);
+                }
+                StoreEntry::KtsAuth { entry } => {
+                    backup.remove(&entry.key);
+                    let slot = auth.entry(entry.key).or_insert_with(|| entry.clone());
+                    if entry.last_ts >= slot.last_ts {
+                        *slot = entry.clone();
+                    }
+                }
+                StoreEntry::KtsBackup { entry } => {
+                    let slot = backup.entry(entry.key).or_insert_with(|| entry.clone());
+                    if entry.last_ts >= slot.last_ts {
+                        *slot = entry.clone();
+                    }
+                }
+                StoreEntry::KtsDemote { key } => {
+                    if let Some(e) = auth.remove(key) {
+                        let slot = backup.entry(*key).or_insert_with(|| e.clone());
+                        if e.last_ts >= slot.last_ts {
+                            *slot = e;
+                        }
+                    }
+                }
+                StoreEntry::DocOpen { doc, initial } => {
+                    docs.entry(doc.clone()).or_insert_with(|| initial.clone());
+                }
+            }
+        }
+        RecoveredState {
+            primary: primary.into_iter().collect(),
+            replica: replica.into_iter().collect(),
+            kts_entries: auth.into_values().collect(),
+            kts_backups: backup.into_values().collect(),
+            docs: docs.into_iter().collect(),
+        }
+    }
+
+    /// True when nothing was recovered (fresh or empty store).
+    pub fn is_empty(&self) -> bool {
+        self.primary.is_empty()
+            && self.replica.is_empty()
+            && self.kts_entries.is_empty()
+            && self.kts_backups.is_empty()
+            && self.docs.is_empty()
+    }
+
+    /// Total items across all tables (diagnostics / metrics).
+    pub fn item_count(&self) -> usize {
+        self.primary.len()
+            + self.replica.len()
+            + self.kts_entries.len()
+            + self.kts_backups.len()
+            + self.docs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn he(key: u64, ts: u64) -> HandoffEntry {
+        HandoffEntry {
+            key: Id(key),
+            key_name: DocName::new("d"),
+            last_ts: ts,
+            epoch: 1,
+        }
+    }
+
+    #[test]
+    fn empty_log_rebuilds_empty_state() {
+        let s = RecoveredState::rebuild(&[]);
+        assert!(s.is_empty());
+        assert_eq!(s.item_count(), 0);
+    }
+
+    #[test]
+    fn put_del_reduce_to_final_state() {
+        let s = RecoveredState::rebuild(&[
+            StoreEntry::PutPrimary {
+                key: Id(1),
+                value: Bytes::from_static(b"a"),
+            },
+            StoreEntry::PutPrimary {
+                key: Id(1),
+                value: Bytes::from_static(b"b"),
+            },
+            StoreEntry::PutPrimary {
+                key: Id(2),
+                value: Bytes::from_static(b"c"),
+            },
+            StoreEntry::DelPrimary { key: Id(2) },
+            StoreEntry::PutReplica {
+                key: Id(3),
+                value: Bytes::from_static(b"r"),
+            },
+        ]);
+        assert_eq!(s.primary, vec![(Id(1), Bytes::from_static(b"b"))]);
+        assert_eq!(s.replica, vec![(Id(3), Bytes::from_static(b"r"))]);
+    }
+
+    #[test]
+    fn kts_grants_keep_latest_and_demote_moves_to_backup() {
+        let s = RecoveredState::rebuild(&[
+            StoreEntry::KtsAuth { entry: he(5, 1) },
+            StoreEntry::KtsAuth { entry: he(5, 2) },
+            StoreEntry::KtsBackup { entry: he(9, 7) },
+            StoreEntry::KtsBackup { entry: he(9, 4) }, // stale: ignored
+            StoreEntry::KtsDemote { key: Id(5) },
+        ]);
+        assert!(s.kts_entries.is_empty());
+        assert_eq!(s.kts_backups.len(), 2);
+        assert_eq!(s.kts_backups[0].last_ts, 2); // demoted key 5
+        assert_eq!(s.kts_backups[1].last_ts, 7); // backup key 9 kept max
+    }
+
+    #[test]
+    fn stale_auth_entry_never_regresses_recovered_ts() {
+        // A delayed TableHandoff can journal an older last_ts after a
+        // fresher grant; recovering the lower value would let a restarted
+        // master grant duplicate timestamps.
+        let s = RecoveredState::rebuild(&[
+            StoreEntry::KtsAuth { entry: he(5, 9) },
+            StoreEntry::KtsAuth { entry: he(5, 3) },
+        ]);
+        assert_eq!(s.kts_entries.len(), 1);
+        assert_eq!(s.kts_entries[0].last_ts, 9);
+    }
+
+    #[test]
+    fn auth_upsert_clears_backup() {
+        let s = RecoveredState::rebuild(&[
+            StoreEntry::KtsBackup { entry: he(5, 3) },
+            StoreEntry::KtsAuth { entry: he(5, 4) },
+        ]);
+        assert_eq!(s.kts_entries.len(), 1);
+        assert!(s.kts_backups.is_empty());
+    }
+
+    #[test]
+    fn first_doc_open_wins() {
+        let s = RecoveredState::rebuild(&[
+            StoreEntry::DocOpen {
+                doc: DocName::new("w"),
+                initial: "base".into(),
+            },
+            StoreEntry::DocOpen {
+                doc: DocName::new("w"),
+                initial: "other".into(),
+            },
+        ]);
+        assert_eq!(s.docs, vec![(DocName::new("w"), "base".to_string())]);
+    }
+}

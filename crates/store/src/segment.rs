@@ -1,0 +1,208 @@
+//! CRC-framed append-only segment encoding, torn-tail tolerant on replay.
+//!
+//! A segment is a flat byte file of frames:
+//!
+//! ```text
+//! [len: u32 LE][crc32(payload): u32 LE][payload: len bytes]  …repeated…
+//! ```
+//!
+//! where each payload is one wire-encoded [`StoreEntry`](crate::StoreEntry).
+//! Replay walks the frames and classifies the first anomaly it meets:
+//!
+//! * a clean end-of-file ⇒ the segment is intact;
+//! * a **torn tail** — a truncated header or body, or a CRC mismatch in the
+//!   final frame — is what a crash mid-append leaves behind; replay stops
+//!   at the last good frame and reports the dropped byte count so the
+//!   writer can truncate and resume;
+//! * anything after the torn point, or a declared length over
+//!   [`MAX_ENTRY_LEN`], means the file is not a prefix of what was written
+//!   — the caller decides (mid-log segments reject, the Merkle checkpoint
+//!   distinguishes crash damage from tampering).
+
+/// Bytes of frame header preceding every payload (`len` + `crc`).
+pub const FRAME_HEADER: usize = 8;
+
+/// Upper bound on one entry's encoded payload (matches the wire crate's
+/// frame cap): a corrupt length prefix can never demand a huge allocation.
+pub const MAX_ENTRY_LEN: usize = 16 * 1024 * 1024;
+
+// CRC-32 (IEEE 802.3, reflected) — the classic table-driven form.
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Append one frame (header + payload) for `payload` to `out`.
+pub fn write_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    debug_assert!(payload.len() <= MAX_ENTRY_LEN);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Total encoded size of a frame holding `payload_len` bytes.
+pub fn frame_size(payload_len: usize) -> usize {
+    FRAME_HEADER + payload_len
+}
+
+/// Why frame replay stopped before the end of the file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameAnomaly {
+    /// Fewer than [`FRAME_HEADER`] bytes remained: a torn header.
+    TornHeader,
+    /// The header's length exceeded the bytes remaining: a torn body.
+    TornBody,
+    /// The payload's CRC did not match the header.
+    BadCrc,
+    /// The header declared a length over [`MAX_ENTRY_LEN`] — not a
+    /// truncation artefact, the header bytes themselves are damaged.
+    OversizedLength,
+}
+
+/// Result of walking one segment's frames.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SegmentScan {
+    /// Payloads of the good frames, in file order.
+    pub payloads: Vec<Vec<u8>>,
+    /// Offset of the first byte past the last good frame (where an
+    /// append-resuming writer must truncate to).
+    pub good_len: u64,
+    /// The anomaly that ended the scan, if the file did not end cleanly.
+    pub anomaly: Option<FrameAnomaly>,
+}
+
+impl SegmentScan {
+    /// Bytes after the last good frame (0 for a clean segment).
+    pub fn torn_bytes(&self, file_len: u64) -> u64 {
+        file_len.saturating_sub(self.good_len)
+    }
+}
+
+/// Walk the frames of a segment image.
+pub fn scan_segment(buf: &[u8]) -> SegmentScan {
+    let mut payloads = Vec::new();
+    let mut at = 0usize;
+    let anomaly = loop {
+        if at == buf.len() {
+            break None; // clean end
+        }
+        if buf.len() - at < FRAME_HEADER {
+            break Some(FrameAnomaly::TornHeader);
+        }
+        let len = u32::from_le_bytes(buf[at..at + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(buf[at + 4..at + 8].try_into().expect("4 bytes"));
+        if len > MAX_ENTRY_LEN {
+            break Some(FrameAnomaly::OversizedLength);
+        }
+        if buf.len() - at - FRAME_HEADER < len {
+            break Some(FrameAnomaly::TornBody);
+        }
+        let payload = &buf[at + FRAME_HEADER..at + FRAME_HEADER + len];
+        if crc32(payload) != crc {
+            break Some(FrameAnomaly::BadCrc);
+        }
+        payloads.push(payload.to_vec());
+        at += FRAME_HEADER + len;
+    };
+    SegmentScan {
+        payloads,
+        good_len: at as u64,
+        anomaly,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    fn image(payloads: &[&[u8]]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for p in payloads {
+            write_frame(&mut out, p);
+        }
+        out
+    }
+
+    #[test]
+    fn clean_roundtrip() {
+        let img = image(&[b"one", b"", b"three33"]);
+        let scan = scan_segment(&img);
+        assert_eq!(scan.anomaly, None);
+        assert_eq!(scan.good_len, img.len() as u64);
+        assert_eq!(
+            scan.payloads,
+            vec![b"one".to_vec(), vec![], b"three33".to_vec()]
+        );
+    }
+
+    #[test]
+    fn torn_tail_keeps_good_prefix() {
+        let img = image(&[b"aaaa", b"bbbb"]);
+        // Cut at every point inside the second frame: the first survives.
+        let second_start = frame_size(4);
+        for cut in second_start + 1..img.len() {
+            let scan = scan_segment(&img[..cut]);
+            assert_eq!(scan.payloads, vec![b"aaaa".to_vec()], "cut at {cut}");
+            assert_eq!(scan.good_len as usize, second_start);
+            assert!(scan.anomaly.is_some());
+        }
+    }
+
+    #[test]
+    fn bitflip_detected() {
+        let img = image(&[b"payload-x", b"payload-y"]);
+        for i in 0..img.len() {
+            let mut bad = img.clone();
+            bad[i] ^= 0x40;
+            let scan = scan_segment(&bad);
+            // A flip anywhere must surface as an anomaly or change a
+            // payload — it can never silently pass through unchanged.
+            let intact = scan.anomaly.is_none()
+                && scan.payloads == vec![b"payload-x".to_vec(), b"payload-y".to_vec()];
+            assert!(!intact, "bit flip at {i} undetected");
+        }
+    }
+
+    #[test]
+    fn hostile_length_rejected_without_allocation() {
+        let mut img = Vec::new();
+        img.extend_from_slice(&u32::MAX.to_le_bytes());
+        img.extend_from_slice(&[0u8; 4]);
+        let scan = scan_segment(&img);
+        assert_eq!(scan.anomaly, Some(FrameAnomaly::OversizedLength));
+        assert!(scan.payloads.is_empty());
+    }
+}

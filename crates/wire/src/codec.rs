@@ -66,6 +66,18 @@ impl std::fmt::Display for WireError {
 impl std::error::Error for WireError {}
 
 /// A value with a canonical wire encoding.
+///
+/// ```
+/// use wire::{Encode, Decode};
+/// use bytes::Bytes;
+///
+/// // Primitives, strings, byte payloads, options, vecs and tuples all
+/// // have canonical encodings; protocol messages compose them.
+/// let value = (42u64, Bytes::from_static(b"patch"));
+/// let buf = value.to_wire();
+/// assert_eq!(buf.len(), value.encoded_len()); // exact sizing, always
+/// assert_eq!(<(u64, Bytes)>::from_wire(&buf).unwrap(), value);
+/// ```
 pub trait Encode {
     /// Append this value's encoding to `out`.
     fn encode(&self, out: &mut Vec<u8>);
@@ -84,6 +96,22 @@ pub trait Encode {
 }
 
 /// A value decodable from its canonical wire encoding.
+///
+/// Decoding is **total**: malformed input returns an error, never a panic
+/// and never an allocation ahead of the bytes actually present.
+///
+/// ```
+/// use wire::{Decode, WireError};
+///
+/// // Truncated input is an error, not a crash …
+/// let buf = 300u64.to_wire();
+/// assert_eq!(u64::from_wire(&buf[..1]), Err(WireError::Truncated));
+/// // … and so are trailing bytes (a value must fill its buffer exactly).
+/// let mut long = buf.clone();
+/// long.push(0);
+/// assert_eq!(u64::from_wire(&long), Err(WireError::TrailingBytes));
+/// # use wire::Encode;
+/// ```
 pub trait Decode: Sized {
     /// Decode one value from the reader's current position.
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError>;

@@ -81,6 +81,26 @@ pub fn decode_frame<M: Decode>(frame: &[u8]) -> Result<(NodeId, M), WireError> {
 /// Re-frames an arbitrary byte stream: push chunks as they arrive off a
 /// socket, pop complete frames. Detects oversized frames as soon as the
 /// length prefix is readable, so a poisoned stream fails fast.
+///
+/// ```
+/// use wire::{encode_frame, decode_frame, FrameAssembler};
+/// use simnet::NodeId;
+///
+/// // Two frames, delivered to the reader in awkward chunks.
+/// let stream: Vec<u8> = [encode_frame(NodeId(1), &7u64), encode_frame(NodeId(2), &8u64)]
+///     .concat();
+/// let (a, b) = stream.split_at(5); // mid-header split
+///
+/// let mut asm = FrameAssembler::new();
+/// asm.push(a);
+/// assert!(asm.next_frame().unwrap().is_none()); // not enough bytes yet
+/// asm.push(b);
+/// let first = asm.next_frame().unwrap().expect("one complete frame");
+/// assert_eq!(decode_frame::<u64>(&first).unwrap(), (NodeId(1), 7));
+/// let second = asm.next_frame().unwrap().expect("and the second");
+/// assert_eq!(decode_frame::<u64>(&second).unwrap(), (NodeId(2), 8));
+/// assert!(asm.next_frame().unwrap().is_none());
+/// ```
 #[derive(Debug, Default)]
 pub struct FrameAssembler {
     buf: Vec<u8>,

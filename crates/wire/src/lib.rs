@@ -26,7 +26,7 @@
 //! simulator charges per-message latency from the *actual encoded size*
 //! of each message whenever `NetConfig::bandwidth` is set.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod codec;
 pub mod frame;

@@ -5,7 +5,8 @@
 //! runner owns per-node RNG/metrics/timer state, constructs a detached
 //! [`Ctx`] for every upcall, and executes the buffered [`Effects`]
 //! against the transport (messages become encoded frames) and a
-//! real-time timer wheel (sim [`Duration`]s map 1:1 to wall-clock).
+//! real-time timer wheel (sim [`Duration`](simnet::Duration)s map 1:1 to
+//! wall-clock).
 //!
 //! The runner is single-threaded and cooperative — node state stays
 //! inspectable between pumps — while the transport underneath may be
@@ -146,9 +147,41 @@ impl<M: Encode + Decode + 'static> WireNet<M> {
         &self.slots[id.0 as usize].metrics
     }
 
-    /// True once the node called `halt_self`.
+    /// True once the node called `halt_self` (or was [`WireNet::kill`]ed).
     pub fn is_halted(&self, id: NodeId) -> bool {
         self.slots[id.0 as usize].halted
+    }
+
+    /// Kill a node's process: inbound frames are drained and dropped and
+    /// its timers stop firing, while the transport endpoint (socket,
+    /// queue) stays bound — the process-crash half of a recovery drill.
+    pub fn kill(&mut self, id: NodeId) {
+        self.slots[id.0 as usize].halted = true;
+    }
+
+    /// Replace a killed node's process with `proc` (typically rebuilt from
+    /// the dead incarnation's on-disk store) and run its `on_start`. The
+    /// dead process's pending timers are discarded; the transport endpoint
+    /// — and therefore the node's address — is reused, so peers keep
+    /// talking to the same socket. Panics if the node was not killed.
+    pub fn restart_node<P: simnet::Process<M> + std::any::Any>(&mut self, id: NodeId, proc: P) {
+        let now = self.now();
+        let slot = &mut self.slots[id.0 as usize];
+        assert!(slot.halted, "only killed nodes can be restarted");
+        slot.proc = Box::new(proc);
+        slot.halted = false;
+        slot.timers.clear();
+        slot.cancelled.clear();
+        let mut ctx = Ctx::detached(
+            now,
+            slot.me,
+            &mut slot.rng,
+            &mut slot.metrics,
+            &mut slot.timer_seq,
+        );
+        slot.proc.on_start(&mut ctx);
+        let eff = ctx.take_effects();
+        Self::apply_effects(slot, now, eff);
     }
 
     fn apply_effects(slot: &mut WireSlot<M>, now: Time, eff: Effects<M>) {

@@ -1,5 +1,5 @@
 //! A small P2P-LTR ring over **real loopback TCP sockets** — the wire
-//! tentpole's end-to-end proof.
+//! tentpole's end-to-end proof, plus the durable store's recovery drill.
 //!
 //! The exact `LtrNode` state machines that run on the deterministic
 //! simulator are driven here by `wire::WireNet` over the threaded
@@ -11,10 +11,18 @@
 //!
 //! Run: `cargo run -p ltr_integration --release --example tcp_ring`
 //! Exits non-zero on any mismatch (wired into CI as a smoke job).
+//!
+//! With `--recover` the example instead runs the **crash-with-disk
+//! drill** (CI's `recovery-smoke` job): each peer journals to an on-disk
+//! `store::FileStore`; the document's Master-key peer is killed
+//! mid-session, restarted from nothing but its store directory, rejoins
+//! the ring, catches back up, and then *serves the next stamped edit* —
+//! proving keys, timestamps and logs really round-trip through disk.
 
 use p2p_ltr::harness::LtrNet;
 use p2p_ltr::{LtrConfig, LtrNode, Payload, UserCmd};
 use simnet::{Duration, NetConfig, NodeId};
+use store::{FileStore, RecoveredState, StoreConfig};
 use wire::WireNet;
 
 use chord::{Id, NodeRef};
@@ -144,7 +152,159 @@ fn run_tcp() -> String {
     text
 }
 
+/// The crash-with-disk drill over real sockets.
+fn run_tcp_recovery() {
+    let base = std::env::temp_dir().join(format!("p2pltr-tcpring-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let store_cfg = StoreConfig {
+        segment_max_bytes: 64 * 1024,
+        // Checkpoint every append: even a short session recovers with a
+        // verified Merkle root.
+        checkpoint_every: 1,
+    };
+    let store_dir = |i: usize| base.join(format!("peer-{i}"));
+
+    let mut net: WireNet<Payload> = WireNet::loopback_tcp(42).expect("bind loopback listeners");
+    let first = peer_ref(0);
+    for i in 0..PEERS {
+        let me = peer_ref(i);
+        let bootstrap = (i > 0).then_some(first);
+        let delay = Duration::from_millis(100) * i as u64;
+        let (store, _) = FileStore::open(store_dir(i), store_cfg).expect("create store dir");
+        net.add_node(LtrNode::with_store(
+            me,
+            LtrConfig::default(),
+            bootstrap,
+            delay,
+            Box::new(store),
+        ));
+    }
+
+    let secs = std::time::Duration::from_secs;
+    let all = |net: &WireNet<Payload>, f: &dyn Fn(&LtrNode) -> bool| {
+        (0..PEERS).all(|i| net.node_as::<LtrNode>(NodeId(i as u32)).is_some_and(f))
+    };
+    assert!(
+        net.run_until(secs(30), |n| all(n, &|p| p.chord().is_joined())),
+        "ring joined over TCP"
+    );
+    net.run_for(secs(2));
+    for i in 0..PEERS {
+        net.send_external(
+            NodeId(i as u32),
+            Payload::Cmd(UserCmd::OpenDoc {
+                doc: DOC.into(),
+                initial: INITIAL.into(),
+            }),
+        )
+        .expect("inject open");
+    }
+    assert!(
+        net.run_until(secs(10), |n| all(n, &|p| p.doc_ts(DOC).is_some())),
+        "document opened everywhere"
+    );
+    net.send_external(
+        NodeId(0),
+        Payload::Cmd(UserCmd::Edit {
+            doc: DOC.into(),
+            new_text: EDIT1.into(),
+        }),
+    )
+    .expect("inject edit 1");
+    assert!(
+        net.run_until(secs(30), |n| all(n, &|p| p.doc_ts(DOC) == Some(1))),
+        "edit 1 stamped and integrated everywhere before the crash"
+    );
+
+    // Kill the document's Master-key peer — the worst-case victim: it
+    // holds the key's timestamp state.
+    let key = p2plog::ht(DOC);
+    let mut refs: Vec<NodeRef> = (0..PEERS).map(peer_ref).collect();
+    refs.sort_by_key(|r| key.distance_to(r.id));
+    let victim = refs[0];
+    let vi = victim.addr.0 as usize;
+    println!("killing the master of {DOC:?}: peer {vi}");
+    net.kill(victim.addr);
+    net.run_for(secs(4)); // failure detection + stabilization at survivors
+
+    // Restart from nothing but the store directory.
+    let (store, replay) = FileStore::open(store_dir(vi), store_cfg).expect("reopen store");
+    assert!(
+        replay.stats.entries > 0,
+        "the dead peer journaled something"
+    );
+    assert_eq!(
+        replay.stats.verified_entries,
+        Some(replay.stats.entries),
+        "merkle checkpoint verified on recovery"
+    );
+    let state = RecoveredState::rebuild(&replay.entries);
+    println!(
+        "recovered from disk: {} journal entries -> {} kts entries, {} backups, {} log items, {} docs",
+        replay.stats.entries,
+        state.kts_entries.len(),
+        state.kts_backups.len(),
+        state.primary.len() + state.replica.len(),
+        state.docs.len(),
+    );
+    assert!(!state.docs.is_empty(), "open document recovered from disk");
+    let bootstrap = refs
+        .iter()
+        .copied()
+        .find(|r| r.addr != victim.addr)
+        .expect("a survivor to rejoin through");
+    net.restart_node(
+        victim.addr,
+        LtrNode::recover(
+            victim,
+            LtrConfig::default(),
+            Some(bootstrap),
+            Duration::ZERO,
+            Box::new(store),
+            state,
+        ),
+    );
+    assert!(
+        net.run_until(secs(30), |n| {
+            n.node_as::<LtrNode>(victim.addr)
+                .is_some_and(|p| p.chord().is_joined() && p.doc_ts(DOC) == Some(1))
+        }),
+        "restarted peer rejoined and caught up to ts=1"
+    );
+    println!("peer {vi} rejoined from its on-disk store and caught up");
+
+    // The restarted master serves the next stamped edit.
+    net.send_external(
+        victim.addr,
+        Payload::Cmd(UserCmd::Edit {
+            doc: DOC.into(),
+            new_text: EDIT2.into(),
+        }),
+    )
+    .expect("inject edit 2");
+    assert!(
+        net.run_until(secs(40), |n| all(n, &|p| p.doc_ts(DOC) == Some(2))),
+        "post-recovery edit stamped (ts=2) and integrated everywhere"
+    );
+    let text = net
+        .node_as::<LtrNode>(NodeId(0))
+        .and_then(|p| p.doc_text(DOC))
+        .expect("doc open");
+    for i in 0..PEERS {
+        let t = net
+            .node_as::<LtrNode>(NodeId(i as u32))
+            .and_then(|p| p.doc_text(DOC));
+        assert_eq!(t.as_deref(), Some(text.as_str()), "replicas converged");
+    }
+    let _ = std::fs::remove_dir_all(&base);
+    println!("tcp_ring --recover OK: killed+restarted the master against its on-disk store");
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--recover") {
+        run_tcp_recovery();
+        return;
+    }
     println!("--- reference run on simnet ---");
     let sim_text = run_simnet();
     println!("simnet converged to {} bytes", sim_text.len());
