@@ -20,7 +20,8 @@
 //! Run: `cargo run -p ltr_bench --release --bin exp_rec`
 //! Flags: `--quick` (small sweep, CI smoke), `--out PATH` (default
 //! `BENCH_hotpath.json`; the `recovery` key is merged into an existing
-//! file, or a skeleton is created).
+//! file via [`ltr_bench::merge_bench_section`], or a skeleton is
+//! created).
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -241,32 +242,6 @@ fn render_recovery_json(sweep: &[SweepPoint], e2e: &E2e) -> String {
     out
 }
 
-/// Merge the `recovery` section into `path`: replace an existing section
-/// (exp_rec re-runs) or splice before the final `}`; write a skeleton when
-/// the file does not exist (exp_perf normally creates it first).
-fn merge_into_bench_json(path: &PathBuf, recovery: &str) {
-    let body = match std::fs::read_to_string(path) {
-        Ok(existing) => {
-            let trimmed = existing.trim_end();
-            // Drop a previous recovery section (always the last key, by
-            // construction of this merge).
-            let head = match trimmed.find(",\n  \"recovery\": {") {
-                Some(at) => &trimmed[..at],
-                None => trimmed
-                    .strip_suffix('}')
-                    .map(str::trim_end)
-                    .unwrap_or(trimmed),
-            };
-            format!("{head},\n{recovery}}}\n")
-        }
-        Err(_) => format!(
-            "{{\n  \"schema\": \"p2p-ltr/bench-hotpath/v1\",\n  \"quick\": true,\n  \
-             \"scenarios\": [],\n  \"totals\": {{}},\n{recovery}}}\n"
-        ),
-    };
-    std::fs::write(path, body).expect("write BENCH json");
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -339,7 +314,7 @@ fn main() {
     );
 
     let recovery = render_recovery_json(&sweep, &e2e);
-    merge_into_bench_json(&out_path, &recovery);
+    ltr_bench::merge_bench_section(&out_path, "recovery", &recovery);
     println!("\nmerged recovery metrics into {}", out_path.display());
 
     let all_ok = e2e.continuity && e2e.converged && sweep.iter().all(|p| p.verified);

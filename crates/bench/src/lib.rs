@@ -80,6 +80,60 @@ pub fn ok(b: bool) -> String {
     }
 }
 
+/// Keys of the optional top-level sections merged into
+/// `BENCH_hotpath.json` by the non-`exp_perf` harnesses, in their
+/// canonical file order. `exp_perf` rewrites the whole file (scenarios +
+/// totals); each other harness replaces only its own section via
+/// [`merge_bench_section`], preserving the rest.
+pub const BENCH_SECTIONS: [&str; 2] = ["recovery", "faults"];
+
+/// Replace (or append) the top-level `"<key>": { … }` section of the
+/// bench JSON at `path`, preserving the base document and every *other*
+/// known section. `body` must be the full section rendering, starting
+/// with `  "<key>": {` and ending with `  }\n`. Writes a skeleton when
+/// the file does not exist (`exp_perf` normally creates it first).
+pub fn merge_bench_section(path: &std::path::Path, key: &str, body: &str) {
+    assert!(BENCH_SECTIONS.contains(&key), "unknown bench section {key}");
+    assert!(body.starts_with(&format!("  \"{key}\": {{")), "bad body");
+    let existing = std::fs::read_to_string(path).unwrap_or_else(|_| {
+        "{\n  \"schema\": \"p2p-ltr/bench-hotpath/v1\",\n  \"quick\": true,\n  \
+         \"scenarios\": [],\n  \"totals\": {}\n}\n"
+            .to_string()
+    });
+    let trimmed = existing.trim_end();
+    let close = trimmed.rfind('}').expect("bench json has a closing brace");
+    // Split off every known optional section; the head is everything
+    // before the first of them (or before the final `}`).
+    let mut markers: Vec<(usize, &str)> = BENCH_SECTIONS
+        .iter()
+        .filter_map(|k| {
+            trimmed
+                .find(&format!(",\n  \"{k}\": {{"))
+                .map(|at| (at, *k))
+        })
+        .collect();
+    markers.sort_unstable();
+    let head_end = markers.iter().map(|(at, _)| *at).min().unwrap_or(close);
+    let head = trimmed[..head_end].trim_end().trim_end_matches(',');
+    let mut sections: Vec<(&str, String)> = Vec::new();
+    for (i, &(at, k)) in markers.iter().enumerate() {
+        let start = at + 2; // skip ",\n"
+        let end = markers.get(i + 1).map(|(next, _)| *next).unwrap_or(close);
+        sections.push((k, format!("{}\n", trimmed[start..end].trim_end())));
+    }
+    sections.retain(|(k, _)| *k != key);
+    sections.push((key, body.to_string()));
+    // Canonical order keeps the file diff-stable however the harnesses ran.
+    sections.sort_by_key(|(k, _)| BENCH_SECTIONS.iter().position(|s| s == k));
+    let mut out = String::from(head);
+    for (_, text) in &sections {
+        out.push_str(",\n");
+        out.push_str(text.trim_end());
+    }
+    out.push_str("\n}\n");
+    std::fs::write(path, out).expect("write BENCH json");
+}
+
 /// Print the standard invariant footer every experiment ends with.
 pub fn print_invariants(net: &LtrNet) {
     let cont = p2p_ltr::check_continuity(&net.sim);

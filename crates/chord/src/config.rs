@@ -30,6 +30,14 @@ pub struct ChordConfig {
     /// How long a node observed to time out stays blacklisted from routing
     /// decisions.
     pub suspect_ttl: Duration,
+    /// Consecutive liveness-probe losses before a ring neighbour
+    /// (predecessor or successor) is declared failed. A single lost ping
+    /// or stabilize reply must NOT drop a live neighbour: under message
+    /// loss that splits the ring's ownership view, two nodes can both
+    /// believe they own a key, and the storage layer's first-writer
+    /// conflict detection is blind across the split (it almost never
+    /// fires on a clean run, so the threshold costs nothing there).
+    pub fail_threshold: u32,
 }
 
 impl Default for ChordConfig {
@@ -45,6 +53,7 @@ impl Default for ChordConfig {
             max_attempts: 4,
             max_hops: 3 * 64,
             suspect_ttl: Duration::from_secs(4),
+            fail_threshold: 3,
         }
     }
 }

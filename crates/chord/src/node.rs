@@ -72,6 +72,15 @@ pub struct ChordNode {
     pub(crate) op_seq: u64,
     pub(crate) joined: bool,
     pub(crate) suspects: HashMap<NodeId, Time>,
+    /// Consecutive predecessor-ping losses (reset by any pong from the
+    /// current predecessor or a predecessor change). The predecessor is
+    /// only declared dead at `cfg.fail_threshold`.
+    pub(crate) pred_fails: u32,
+    /// Consecutive stabilize-round losses against the current successor.
+    pub(crate) succ_fails: u32,
+    /// In-flight re-home puts (orphaned primary → true owner): op → key.
+    /// See the orphan sweep in `tick_replicate`.
+    pub(crate) rehoming: HashMap<OpId, Id>,
     pub(crate) acts: Vec<Action>,
     /// Cumulative hop count of completed lookups (for metrics).
     pub(crate) total_lookup_hops: u64,
@@ -95,6 +104,9 @@ impl ChordNode {
             op_seq: 0,
             joined: false,
             suspects: HashMap::new(),
+            pred_fails: 0,
+            succ_fails: 0,
+            rehoming: HashMap::new(),
             acts: Vec::new(),
             total_lookup_hops: 0,
             completed_lookups: 0,
@@ -272,6 +284,9 @@ impl ChordNode {
         if cand.id == self.me.id {
             return;
         }
+        // The list (possibly its head) changes: losses counted against
+        // the previous head must not carry over to a new one.
+        self.succ_fails = 0;
         self.succs.retain(|s| s.id != self.me.id && s.id != cand.id);
         self.succs.push(cand);
         let me = self.me.id;
@@ -281,6 +296,8 @@ impl ChordNode {
 
     /// Remove a node from the successor list (after detecting failure).
     pub(crate) fn drop_successor(&mut self, addr: NodeId) {
+        // Whatever replaces the dropped head starts with a clean record.
+        self.succ_fails = 0;
         self.succs.retain(|s| s.addr != addr);
         if self.succs.is_empty() {
             // Fall back to any live finger; otherwise we are singleton.
@@ -403,7 +420,15 @@ impl ChordNode {
             ChordMsg::Notify { candidate } => self.on_notify(now, candidate),
             ChordMsg::Ping { op } => self.send(from, ChordMsg::Pong { op }),
             ChordMsg::Pong { op } => {
-                self.ops.remove(&op);
+                if let Some(st) = self.ops.remove(&op) {
+                    // A pong from the current predecessor clears its
+                    // accumulated liveness-probe failures.
+                    if let OpKind::PingPred { target } = st.kind {
+                        if self.pred.is_some_and(|p| p.addr == target.addr) {
+                            self.pred_fails = 0;
+                        }
+                    }
+                }
             }
             ChordMsg::Put {
                 op,

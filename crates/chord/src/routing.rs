@@ -1,6 +1,8 @@
 //! Lookup routing: recursive `FindSuccessor` forwarding with a direct reply
 //! to the origin, plus operation retry/timeout logic.
 
+use bytes::Bytes;
+
 use crate::events::ChordEvent;
 use crate::id::Id;
 use crate::msg::{ChordMsg, NodeRef, OpId, PutMode};
@@ -150,12 +152,7 @@ impl ChordNode {
                 if owner.addr == self.me.addr {
                     // We are the owner: apply locally, ack synchronously.
                     let (ok, existing) = self.apply_put_local(key, value, mode);
-                    self.ops.remove(&op);
-                    self.emit(ChordEvent::PutDone {
-                        op,
-                        ok,
-                        conflict: existing,
-                    });
+                    self.finish_put(op, ok, existing);
                 } else {
                     if let Some(s) = self.ops.get_mut(&op) {
                         s.kind = OpKind::Put {
@@ -265,12 +262,7 @@ impl ChordNode {
                     self.mark_suspect(o.addr, now);
                 }
                 if attempts >= max {
-                    self.ops.remove(&op);
-                    self.emit(ChordEvent::PutDone {
-                        op,
-                        ok: false,
-                        conflict: None,
-                    });
+                    self.finish_put(op, false, None);
                 } else {
                     // Restart from the lookup phase; ownership may have moved.
                     if let Some(s) = self.ops.get_mut(&op) {
@@ -306,20 +298,57 @@ impl ChordNode {
             }
             OpKind::StabilizeGetPred { asked } => {
                 self.ops.remove(&op);
-                self.mark_suspect(asked.addr, now);
+                // One lost reply must not drop a live successor: a split
+                // ring view lets two nodes accept writes for the same key
+                // range. Require consecutive losses (see
+                // `ChordConfig::fail_threshold`).
                 if self.successor().addr == asked.addr {
-                    self.drop_successor(asked.addr);
+                    self.succ_fails += 1;
+                    if self.succ_fails >= self.cfg.fail_threshold {
+                        self.succ_fails = 0;
+                        self.mark_suspect(asked.addr, now);
+                        self.drop_successor(asked.addr);
+                    }
                 }
             }
             OpKind::PingPred { target } => {
                 self.ops.remove(&op);
                 if self.pred.is_some_and(|p| p.addr == target.addr) {
-                    self.mark_suspect(target.addr, now);
-                    let old = self.pred.take();
-                    self.emit(ChordEvent::PredecessorChanged { old, new: None });
+                    self.pred_fails += 1;
+                    if self.pred_fails >= self.cfg.fail_threshold {
+                        self.pred_fails = 0;
+                        self.mark_suspect(target.addr, now);
+                        let old = self.pred.take();
+                        self.emit(ChordEvent::PredecessorChanged { old, new: None });
+                    }
                 }
             }
         }
+    }
+
+    /// Terminal point of every put op, whatever path ended it: report the
+    /// outcome to the embedding — or, for an orphan re-home put (see
+    /// `rehome_orphans`), absorb it here. On success (or a first-writer
+    /// conflict, which means the true owner already arbitrates the key)
+    /// the orphaned primary is demoted to a replica; on failure it stays
+    /// primary so the next sweep retries. Re-home ops never surface as
+    /// `PutDone` events. Routing every ending through this single helper
+    /// is what guarantees the `rehoming` table cannot leak an entry —
+    /// a leaked key would be excluded from all future sweeps.
+    pub(crate) fn finish_put(&mut self, op: OpId, ok: bool, conflict: Option<Bytes>) {
+        self.ops.remove(&op);
+        if let Some(key) = self.rehoming.remove(&op) {
+            // Responsibility may have returned to us while the re-home was
+            // in flight (our predecessor died again): then the key is no
+            // longer an orphan and must stay primary here.
+            if (ok || conflict.is_some()) && !self.is_responsible(key) {
+                if self.store.demote_to_replica(key) {
+                    self.store_version += 1;
+                }
+            }
+            return;
+        }
+        self.emit(ChordEvent::PutDone { op, ok, conflict });
     }
 
     /// Used by the storage protocol when a put/get reply indicates we asked
@@ -338,12 +367,7 @@ impl ChordNode {
                 key, value, mode, ..
             } => {
                 if attempts >= max {
-                    self.ops.remove(&op);
-                    self.emit(ChordEvent::PutDone {
-                        op,
-                        ok: false,
-                        conflict: None,
-                    });
+                    self.finish_put(op, false, None);
                 } else {
                     if let Some(s) = self.ops.get_mut(&op) {
                         s.kind = OpKind::Put {

@@ -58,6 +58,8 @@ impl ChordNode {
             },
             None => return,
         };
+        // The round completed: the successor answered.
+        self.succ_fails = 0;
         // Adopt the successor's predecessor if it sits between us.
         let mut new_succ = asked;
         if let Some(p) = pred {
@@ -118,6 +120,7 @@ impl ChordNode {
         }
         let old = self.pred;
         self.pred = Some(candidate);
+        self.pred_fails = 0;
         // Any replica we hold for our own (new) range should be primary.
         let promoted = self
             .store
@@ -178,7 +181,8 @@ impl ChordNode {
 
     /// Periodic replica push: send our primary items to the first
     /// `storage_replicas` successors, skipping those already current.
-    pub(crate) fn tick_replicate(&mut self, _now: Time) {
+    /// Also sweeps *orphaned* primaries back to their true owners.
+    pub(crate) fn tick_replicate(&mut self, now: Time) {
         self.arm(
             self.cfg.replicate_every,
             crate::events::ChordTimer::Replicate,
@@ -186,6 +190,7 @@ impl ChordNode {
         if !self.joined {
             return;
         }
+        self.rehome_orphans(now);
         let version = self.store_version;
         let succs: Vec<NodeRef> = self
             .succs
@@ -212,6 +217,38 @@ impl ChordNode {
                     items: items.clone(),
                 },
             );
+        }
+    }
+
+    /// Re-home orphaned primaries: items we hold in the primary bucket for
+    /// ranges we do not own. They are stored-but-unreachable — reads are
+    /// lookup-routed to the true owner, which misses — and arise when a
+    /// put landed here while our ring view was split (e.g. under message
+    /// loss we briefly believed our predecessor was gone). Re-insert each
+    /// at the true owner with an ordinary first-writer put and demote our
+    /// copy to a replica once acked. A node with a consistent ring view
+    /// has no orphans, so a clean run never enters this path.
+    fn rehome_orphans(&mut self, now: Time) {
+        /// Puts started per sweep (orphans are rare; bound the burst).
+        const MAX_REHOMES_PER_SWEEP: usize = 16;
+        let orphans: Vec<(Id, Bytes)> = self
+            .store
+            .iter_primary()
+            .filter(|(k, _)| !self.is_responsible(**k))
+            .filter(|(k, _)| !self.rehoming.values().any(|r| r == *k))
+            .map(|(k, v)| (*k, v.clone()))
+            .take(MAX_REHOMES_PER_SWEEP)
+            .collect();
+        for (key, value) in orphans {
+            let op = self.new_op(OpKind::Put {
+                key,
+                value,
+                mode: crate::msg::PutMode::FirstWriter,
+                owner: None,
+            });
+            self.rehoming.insert(op, key);
+            self.issue_lookup(now, op, key, 0);
+            self.arm_op_timeout(op);
         }
     }
 
@@ -266,6 +303,7 @@ impl ChordNode {
         if leaving_pred || self.pred.is_none() {
             let old = self.pred;
             self.pred = pred_of_leaver.filter(|p| p.id != self.me.id);
+            self.pred_fails = 0;
             if let Some(p) = self.pred {
                 let promoted = self.store.promote_replicas_in_range(p.id, self.me.id);
                 if promoted > 0 {

@@ -230,6 +230,25 @@ impl Storage {
         self.replica.iter()
     }
 
+    /// Move a primary item into the replica bucket (re-homing: we held it
+    /// as primary for a range we turned out not to own). Keeps the bytes
+    /// — a replica copy still serves takeover promotion — but stops
+    /// advertising ownership. Returns false when the key is not primary.
+    pub fn demote_to_replica(&mut self, key: Id) -> bool {
+        match self.primary.remove(&key) {
+            Some(v) => {
+                self.journal(|| StorageDelta::DelPrimary { key });
+                self.journal(|| StorageDelta::PutReplica {
+                    key,
+                    value: v.clone(),
+                });
+                self.replica.insert(key, v);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Remove a key from both buckets; true if anything was removed.
     pub fn remove(&mut self, key: Id) -> bool {
         let a = self.primary.remove(&key).is_some();
@@ -250,6 +269,25 @@ mod tests {
 
     fn b(s: &str) -> Bytes {
         Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn demote_to_replica_moves_item_and_journals() {
+        let mut s = Storage::new();
+        s.put_primary(Id(5), b("v"));
+        s.set_journaling(true);
+        assert!(s.demote_to_replica(Id(5)));
+        assert_eq!(s.primary_len(), 0);
+        assert_eq!(s.get(Id(5)), Some(&b("v")));
+        let deltas = s.take_deltas();
+        assert!(matches!(deltas[0], StorageDelta::DelPrimary { key: Id(5) }));
+        assert!(matches!(
+            deltas[1],
+            StorageDelta::PutReplica { key: Id(5), .. }
+        ));
+        // Not primary: no-op.
+        assert!(!s.demote_to_replica(Id(5)));
+        assert!(s.take_deltas().is_empty());
     }
 
     #[test]

@@ -43,20 +43,10 @@ impl ChordNode {
             return; // late duplicate
         }
         if ok {
-            self.ops.remove(&op);
-            self.emit(ChordEvent::PutDone {
-                op,
-                ok: true,
-                conflict: None,
-            });
+            self.finish_put(op, true, None);
         } else if existing.is_some() {
             // First-writer conflict: definitive failure, report the winner.
-            self.ops.remove(&op);
-            self.emit(ChordEvent::PutDone {
-                op,
-                ok: false,
-                conflict: existing,
-            });
+            self.finish_put(op, false, existing);
         } else {
             // Wrong owner: re-resolve and retry.
             self.retry_from_lookup(now, op);

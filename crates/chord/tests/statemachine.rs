@@ -6,7 +6,7 @@ use bytes::Bytes;
 use chord::{
     Action, ChordConfig, ChordEvent, ChordMsg, ChordNode, ChordTimer, Id, NodeRef, PutMode,
 };
-use simnet::{NodeId, Time};
+use simnet::{Duration, NodeId, Time};
 
 fn nref(addr: u32, id: u64) -> NodeRef {
     NodeRef::new(NodeId(addr), Id(id))
@@ -321,26 +321,81 @@ fn stabilize_timer_rearms_and_probes_successor() {
 }
 
 #[test]
-fn pred_failure_detected_via_ping_timeout() {
+fn pred_failure_needs_consecutive_ping_timeouts() {
+    // One lost ping must NOT drop a live predecessor (under message loss
+    // that splits the ring's ownership view and forks stored records);
+    // `fail_threshold` consecutive losses must.
     let me = nref(0, 1000);
     let pred = nref(1, 400);
     let succ = nref(2, 2000);
     let mut n = wired_node(me, pred, succ);
-    // Fire the check-predecessor timer: a ping goes out with an op timeout.
-    let acts = n.on_timer(Time::from_millis(500), ChordTimer::CheckPredecessor);
-    let op = acts
-        .iter()
-        .find_map(|a| match a {
-            Action::SetTimer(_, ChordTimer::OpTimeout(op)) => Some(*op),
-            _ => None,
-        })
-        .expect("ping must have a timeout");
-    // No pong arrives; the timeout fires.
-    let acts = n.on_timer(Time::from_millis(1000), ChordTimer::OpTimeout(op));
-    assert!(events(&acts)
-        .iter()
-        .any(|e| matches!(e, ChordEvent::PredecessorChanged { new: None, .. })));
-    assert!(n.predecessor().is_none());
+    let threshold = ChordConfig::default().fail_threshold;
+    assert!(threshold >= 2, "threshold must tolerate transient loss");
+    let mut t = Time::from_millis(500);
+    for round in 1..=threshold {
+        // Fire the check-predecessor timer: a ping goes out with an op
+        // timeout; no pong ever arrives.
+        let acts = n.on_timer(t, ChordTimer::CheckPredecessor);
+        let op = acts
+            .iter()
+            .find_map(|a| match a {
+                Action::SetTimer(_, ChordTimer::OpTimeout(op)) => Some(*op),
+                _ => None,
+            })
+            .expect("ping must have a timeout");
+        t = t + Duration::from_millis(500);
+        let acts = n.on_timer(t, ChordTimer::OpTimeout(op));
+        let dropped = events(&acts)
+            .iter()
+            .any(|e| matches!(e, ChordEvent::PredecessorChanged { new: None, .. }));
+        if round < threshold {
+            assert!(!dropped, "single loss dropped a live predecessor");
+            assert!(n.predecessor().is_some());
+        } else {
+            assert!(dropped, "threshold losses must declare failure");
+            assert!(n.predecessor().is_none());
+        }
+    }
+}
+
+#[test]
+fn pong_resets_the_ping_failure_count() {
+    let me = nref(0, 1000);
+    let pred = nref(1, 400);
+    let succ = nref(2, 2000);
+    let mut n = wired_node(me, pred, succ);
+    let threshold = ChordConfig::default().fail_threshold;
+    let mut t = Time::from_millis(500);
+    // threshold - 1 losses, then one answered ping, then threshold - 1
+    // more losses: the predecessor must survive throughout.
+    for phase in 0..2 {
+        for _ in 0..threshold - 1 {
+            let acts = n.on_timer(t, ChordTimer::CheckPredecessor);
+            let op = acts
+                .iter()
+                .find_map(|a| match a {
+                    Action::SetTimer(_, ChordTimer::OpTimeout(op)) => Some(*op),
+                    _ => None,
+                })
+                .expect("ping must have a timeout");
+            t = t + Duration::from_millis(500);
+            n.on_timer(t, ChordTimer::OpTimeout(op));
+        }
+        assert!(n.predecessor().is_some(), "phase {phase}: dropped early");
+        if phase == 0 {
+            let acts = n.on_timer(t, ChordTimer::CheckPredecessor);
+            let op = acts
+                .iter()
+                .find_map(|a| match a {
+                    Action::SetTimer(_, ChordTimer::OpTimeout(op)) => Some(*op),
+                    _ => None,
+                })
+                .expect("ping must have a timeout");
+            t = t + Duration::from_millis(100);
+            n.handle(t, pred.addr, ChordMsg::Pong { op });
+        }
+    }
+    assert!(n.predecessor().is_some());
 }
 
 #[test]

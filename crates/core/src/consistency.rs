@@ -193,6 +193,52 @@ pub fn check_convergence(sim: &Sim<Payload>) -> ConvergenceReport {
     report
 }
 
+/// All three oracles over one run, bundled for scenario-style reporting
+/// (the fault matrix runs many scenarios and needs a uniform verdict).
+#[derive(Clone, Debug)]
+pub struct InvariantReport {
+    /// Timestamp continuity (per-doc grants are exactly `1..=max`).
+    pub continuity: ContinuityReport,
+    /// Per-replica total order (+1 integration steps).
+    pub order: OrderReport,
+    /// Replica convergence (identical text at quiescence).
+    pub convergence: ConvergenceReport,
+}
+
+impl InvariantReport {
+    /// True when all three oracles pass.
+    pub fn is_clean(&self) -> bool {
+        self.continuity.is_clean() && self.order.is_clean() && self.convergence.is_converged()
+    }
+
+    /// One-line human summary, e.g. for a per-scenario table row or CI
+    /// step output.
+    pub fn summary(&self) -> String {
+        format!(
+            "continuity={} (docs={}, dups={}, gaps={}) total-order={} ({} integrations) \
+             convergence={} ({} docs, {} busy)",
+            self.continuity.is_clean(),
+            self.continuity.granted.len(),
+            self.continuity.duplicates.len(),
+            self.continuity.gaps.len(),
+            self.order.is_clean(),
+            self.order.checked,
+            self.convergence.is_converged(),
+            self.convergence.docs(),
+            self.convergence.busy_replicas,
+        )
+    }
+}
+
+/// Run every oracle over the simulation.
+pub fn check_all(sim: &Sim<Payload>) -> InvariantReport {
+    InvariantReport {
+        continuity: check_continuity(sim),
+        order: check_total_order(sim),
+        convergence: check_convergence(sim),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

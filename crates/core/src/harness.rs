@@ -3,7 +3,7 @@
 //! peers, store/retrieve data, monitor the data stored at each peer").
 
 use chord::{Id, NodeRef};
-use simnet::{Duration, NetConfig, NodeId, NodeState, Sim, Time};
+use simnet::{Duration, FaultPlan, NetConfig, NodeId, NodeState, Sim, Time};
 use store::{RecoveredState, Store, StoreError};
 
 use crate::config::LtrConfig;
@@ -100,6 +100,17 @@ impl LtrNet {
                 bytes: wire::frame_len(p),
                 class: p.wire_class(),
             }));
+    }
+
+    /// Install a seeded [`FaultPlan`] on the underlying simulator: link
+    /// faults (drop / duplicate / reorder / jitter per class), directional
+    /// cuts and scheduled crashes — the fault envelope the scenario matrix
+    /// (`workload::scenario`) runs the protocol through. Decisions draw
+    /// from the plan's own RNG, so a network with an inert plan behaves
+    /// byte-identically to one without any.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        self.sim
+            .set_fault_plan(plan, Box::new(|p: &Payload| p.clone()));
     }
 
     /// Add one more peer now (joins immediately via the first peer).
@@ -257,6 +268,17 @@ impl LtrNet {
         assert!(!alive.is_empty());
         alive.sort_by_key(|r| key.distance_to(r.id));
         alive[0]
+    }
+
+    /// The current master and its ring successor for `ht(doc)` — the pair
+    /// every takeover/handoff scenario needs (the successor holds the
+    /// timestamp backup and takes over on a master crash).
+    pub fn master_and_succ(&self, doc: &str) -> (NodeRef, NodeRef) {
+        let key = p2plog::ht(doc);
+        let mut alive = self.alive_peers();
+        assert!(alive.len() >= 2, "need at least two live peers");
+        alive.sort_by_key(|r| key.distance_to(r.id));
+        (alive[0], alive[1])
     }
 
     /// Wait until no peer is busy with `docs` or `max_secs` elapsed;

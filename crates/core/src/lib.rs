@@ -69,7 +69,9 @@ pub mod report;
 pub mod wire_impls;
 
 pub use config::{GcConfig, LtrConfig};
-pub use consistency::{check_continuity, check_convergence, check_total_order};
+pub use consistency::{
+    check_all, check_continuity, check_convergence, check_total_order, InvariantReport,
+};
 pub use events::{LtrEvent, LtrEventKind};
 pub use harness::{LtrNet, RecoveryReport};
 pub use node::LtrNode;

@@ -62,6 +62,10 @@ pub(crate) struct RetrState {
     pub resume_validate: bool,
     /// First record not yet processed (own-record detection window).
     pub first_record_pending: bool,
+    /// Fetches re-issued after operational (non-miss) failures; capped
+    /// per retrieval so a dead replica set stalls the cycle instead of
+    /// spinning.
+    pub fetch_retries: u32,
 }
 
 /// Per-document state at this peer.
@@ -144,6 +148,8 @@ pub(crate) struct NodeCounters {
     pub cycle_backoff: CounterId,
     pub retrievals: CounterId,
     pub retrieval_stalled: CounterId,
+    pub fetch_refetches: CounterId,
+    pub probe_refetches: CounterId,
     pub record_decode_error: CounterId,
     pub own_record_recovered: CounterId,
     pub integrated: CounterId,
@@ -182,6 +188,8 @@ impl NodeCounters {
             cycle_backoff: m.register_counter("ltr.cycle_backoff"),
             retrievals: m.register_counter("ltr.retrievals"),
             retrieval_stalled: m.register_counter("ltr.retrieval_stalled"),
+            fetch_refetches: m.register_counter("ltr.fetch_refetches"),
+            probe_refetches: m.register_counter("kts.probe_refetches"),
             record_decode_error: m.register_counter("ltr.record_decode_error"),
             own_record_recovered: m.register_counter("ltr.own_record_recovered"),
             integrated: m.register_counter("ltr.integrated"),

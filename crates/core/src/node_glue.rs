@@ -76,14 +76,27 @@ impl LtrNode {
             ChordEvent::GetDone { op, value, ok } => {
                 match self.chord_ops.remove(&op) {
                     Some(OpPurpose::LogFetch { doc, ts, hash_idx }) => {
-                        // A failed get counts as a miss: the retriever falls
-                        // back to the next replica hash.
-                        let found = if ok { value } else { None };
-                        self.on_log_fetch_result(ctx, &doc, ts, hash_idx, found);
+                        if ok {
+                            self.on_log_fetch_result(ctx, &doc, ts, hash_idx, value);
+                        } else {
+                            // Operational failure (owner unreachable), NOT
+                            // an authoritative miss: re-issue rather than
+                            // falling back to the next replica hash — a
+                            // spurious fallback can read a non-canonical
+                            // copy of the timestamp and diverge replicas.
+                            self.on_log_fetch_unreachable(ctx, &doc, ts, hash_idx);
+                        }
                     }
                     Some(OpPurpose::ProbeFetch { token }) => {
-                        let present = ok && value.is_some();
-                        self.on_probe_result(ctx, token, present);
+                        if ok {
+                            self.on_probe_result(ctx, token, value.is_some());
+                        } else {
+                            // Same distinction, with higher stakes: a probe
+                            // that mistakes "unreachable" for "absent"
+                            // under-estimates last_ts and lets the master
+                            // grant a duplicate timestamp.
+                            self.on_probe_unreachable(ctx, token);
+                        }
                     }
                     _ => {}
                 }

@@ -182,6 +182,21 @@ impl LtrNode {
         }
     }
 
+    /// A probe fetch failed operationally (owner unreachable). Absence
+    /// must never be inferred from unreachability: an under-estimated
+    /// `last_ts` would let this master grant a timestamp the log already
+    /// holds — the duplicate-grant/split-record path. Re-issue the same
+    /// fetch (the embedded re-lookup routes around churn); while the
+    /// probe is pending the key simply stays unserved, which is the
+    /// correct behaviour when the log is unreachable.
+    pub(crate) fn on_probe_unreachable(&mut self, ctx: &mut Ctx<'_, Payload>, token: u64) {
+        if self.probes.contains_key(&token) {
+            ctx.metrics().incr_id(self.c().probe_refetches);
+            // `pump_probe` without `on_result` re-issues the pending cmd.
+            self.pump_probe(ctx, token);
+        }
+    }
+
     /// A probe fetch returned.
     pub(crate) fn on_probe_result(
         &mut self,

@@ -441,6 +441,7 @@ impl LtrNode {
             retriever,
             resume_validate,
             first_record_pending: true,
+            fetch_retries: 0,
         });
         ctx.metrics().incr_id(self.c().retrievals);
         for cmd in cmds {
@@ -448,7 +449,57 @@ impl LtrNode {
         }
     }
 
-    /// One retrieval fetch returned (value or miss).
+    /// A retrieval fetch failed operationally (the replica's owner was
+    /// unreachable after the DHT layer's own retries). This is *not* a
+    /// miss: the record may well exist there, so falling back to the next
+    /// replica hash could integrate a non-canonical copy (the mixed-record
+    /// hazard after partial publishes). Re-issue the same fetch — the
+    /// re-lookup routes around churn — up to a per-retrieval cap, then
+    /// stall the cycle and back off like an exhausted retrieval.
+    pub(crate) fn on_log_fetch_unreachable(
+        &mut self,
+        ctx: &mut Ctx<'_, Payload>,
+        doc: &DocName,
+        ts: u64,
+        hash_idx: usize,
+    ) {
+        /// Re-issues per retrieval before giving up; each already paid the
+        /// DHT layer's internal lookup+get retries.
+        const MAX_FETCH_RETRIES: u32 = 16;
+        let c = self.c();
+        let state = match self.docs.get_mut(doc.as_str()) {
+            Some(s) => s,
+            None => return,
+        };
+        let retr = match &mut state.retr {
+            Some(r) if state.phase == UserPhase::Retrieving => r,
+            _ => return, // stale completion
+        };
+        // Only the fetch that is still current may be re-issued (the
+        // retriever may have moved on via a duplicate result).
+        let cmd = match retr.retriever.refetch_cmd(ts) {
+            Some(c) if c.hash_idx == hash_idx => c,
+            _ => return,
+        };
+        retr.fetch_retries += 1;
+        if retr.fetch_retries <= MAX_FETCH_RETRIES {
+            ctx.metrics().incr_id(c.fetch_refetches);
+            self.issue_log_fetch(ctx, doc, cmd.ts, cmd.hash_idx, cmd.key);
+        } else {
+            let now = ctx.now();
+            ctx.metrics().incr_id(c.retrieval_stalled);
+            self.record(
+                now,
+                LtrEventKind::RetrievalStalled {
+                    doc: doc.clone(),
+                    ts,
+                },
+            );
+            self.backoff_doc(ctx, doc);
+        }
+    }
+
+    /// One retrieval fetch returned (value or authoritative miss).
     pub(crate) fn on_log_fetch_result(
         &mut self,
         ctx: &mut Ctx<'_, Payload>,

@@ -267,7 +267,18 @@ impl KtsMaster {
     }
 
     /// Handle a [`KtsMsg::LastTs`] read.
+    ///
+    /// The reply is best-effort: a restored or freshly promoted entry may
+    /// lag the log (a backup can miss an in-flight grant; a journal can
+    /// miss a grant made by the takeover master during the outage). Such
+    /// an entry is marked `probed = false`; reads trigger its
+    /// verification probe so the *next* anti-entropy round sees the
+    /// log's truth — otherwise idle replicas would trust a stale
+    /// `last_ts` forever and never pull the missing patches.
     pub fn on_last_ts(&mut self, key: Id, op: ReqId, user: NodeRef) -> Vec<MasterAction> {
+        if self.entries.get(&key).is_some_and(|e| !e.probed) {
+            self.pump(key);
+        }
         let last_ts = self.last_ts(key);
         self.acts.push(MasterAction::Send(
             user.addr,
@@ -957,6 +968,48 @@ mod tests {
             .iter()
             .any(|a| matches!(a, MasterAction::Send(_, KtsMsg::Retry { last_ts: 3, .. }))));
         assert_eq!(m.last_ts(key()), 3);
+    }
+
+    #[test]
+    fn lastts_read_triggers_probe_of_restored_entry() {
+        // A master restored from its journal answers anti-entropy reads
+        // from state that may lag the log (the takeover master granted
+        // while we were down). The read itself is best-effort, but it
+        // must kick off the verification probe so the *next* read serves
+        // the log's truth — otherwise idle replicas would never pull the
+        // missing patches (the master-crash-storm convergence bug).
+        let mut m = KtsMaster::new(KtsConfig::default()); // probing on
+        m.restore_entries(vec![HandoffEntry {
+            key: key(),
+            key_name: DocName::new("doc"),
+            last_ts: 4,
+            epoch: 1,
+        }]);
+        let acts = m.on_last_ts(key(), ReqId(9), user(1));
+        // Best-effort reply from current knowledge…
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            MasterAction::Send(_, KtsMsg::LastTsReply { last_ts: 4, .. })
+        )));
+        // …but the probe starts.
+        let probe_token = acts
+            .iter()
+            .find_map(|a| match a {
+                MasterAction::BeginProbe { token, .. } => Some(*token),
+                _ => None,
+            })
+            .expect("read of an unprobed entry must start the probe");
+        // The log actually holds 5 grants; the next read is authoritative.
+        m.probe_done(probe_token, 5);
+        let acts = m.on_last_ts(key(), ReqId(10), user(1));
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            MasterAction::Send(_, KtsMsg::LastTsReply { last_ts: 5, .. })
+        )));
+        // And no second probe fires for the now-verified entry.
+        assert!(!acts
+            .iter()
+            .any(|a| matches!(a, MasterAction::BeginProbe { .. })));
     }
 
     #[test]

@@ -123,8 +123,32 @@ impl Retriever {
         cmds
     }
 
-    /// Feed the result of a fetch. `found` is `None` on miss **or** get
-    /// failure. Returns follow-up fetches plus in-order events.
+    /// The currently in-flight fetch for `ts`, if any — used by callers
+    /// that need to *re-issue* a fetch whose transport failed without
+    /// reaching the replica. An operational failure is not a miss: only
+    /// an authoritative "not present" answer may trigger the replica
+    /// fallback (feeding `None` to [`Retriever::on_fetch_result`]), or a
+    /// reader can be steered to a non-canonical copy of a timestamp
+    /// while the canonical one is merely unreachable.
+    pub fn refetch_cmd(&self, ts: u64) -> Option<FetchCmd> {
+        if self.finished {
+            return None;
+        }
+        match self.states.get(&ts) {
+            Some(TsState::InFlight { hash_idx }) => Some(FetchCmd {
+                ts,
+                hash_idx: *hash_idx,
+                key: self.hashes.hr(*hash_idx, ts),
+            }),
+            _ => None,
+        }
+    }
+
+    /// Feed the result of a fetch. `found` must be `None` only on an
+    /// authoritative miss (the responsible replica answered "not
+    /// present"); a get that *failed* should be re-issued via
+    /// [`Retriever::refetch_cmd`] instead. Returns follow-up fetches plus
+    /// in-order events.
     pub fn on_fetch_result(
         &mut self,
         ts: u64,

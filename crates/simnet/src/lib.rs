@@ -11,6 +11,10 @@
 //!   machines receiving a capability handle ([`Ctx`]);
 //! * **network model** ([`NetConfig`]): constant / uniform / log-normal
 //!   latency, Bernoulli loss, pairwise partitions;
+//! * **fault injection** ([`FaultPlan`], [`Sim::set_fault_plan`]): seeded
+//!   per-link-class message drop / duplicate / reorder / delay,
+//!   directional link cuts, scheduled crashes — decisions draw from a
+//!   dedicated RNG, so the zero-fault event stream is untouched;
 //! * **churn**: crash-stop ([`Sim::crash`]), crash-with-disk restart
 //!   ([`Sim::restart_node`] — a replacement process, typically rebuilt
 //!   from a durable store, resumes at the same address with the dead
@@ -48,6 +52,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod metrics;
 pub mod net;
 pub mod process;
@@ -55,11 +60,12 @@ pub mod rng;
 pub mod sim;
 pub mod time;
 
+pub use fault::{FaultPlan, LinkFaults, ScheduledCrash, ScheduledCut};
 pub use metrics::{CounterId, Histogram, Metrics, Summary};
 pub use net::{LatencyModel, MsgMeta, NetConfig};
 pub use process::{Ctx, Effects, Process, TimerId};
 pub use rng::{Rng64, Zipf};
-pub use sim::{ControlFn, NodeState, ProcessAny, Sim, WireMeter};
+pub use sim::{ControlFn, MsgCloner, NodeState, ProcessAny, Sim, WireMeter};
 pub use time::{Duration, Time};
 
 /// Identifies a node in the simulation (an index into the node table).

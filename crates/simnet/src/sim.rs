@@ -11,6 +11,7 @@ use std::any::Any;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 
+use crate::fault::{FaultPlan, FaultState, LinkFaults, Verdict};
 use crate::metrics::{CounterId, Metrics};
 use crate::net::{MsgMeta, NetConfig};
 use crate::process::{Ctx, Outbox, Process, TimerId};
@@ -141,6 +142,12 @@ impl HotCounters {
 /// `|m| MsgMeta { bytes: wire-encoded frame length, class: ... }`.
 pub type WireMeter<M> = Box<dyn Fn(&M) -> MsgMeta>;
 
+/// Clones a message so the fault layer can duplicate deliveries
+/// (installed with [`Sim::set_fault_plan`]; typically `|m| m.clone()`).
+/// A function type rather than an `M: Clone` bound so fault injection
+/// stays opt-in for message types that are not `Clone`.
+pub type MsgCloner<M> = Box<dyn Fn(&M) -> M>;
+
 /// Pre-registered counter pair of one wire message class.
 struct WireClassSlot {
     class: &'static str,
@@ -170,6 +177,10 @@ pub struct Sim<M> {
     events_processed: u64,
     net: NetConfig,
     wire: Option<WireAccounting<M>>,
+    /// Fault-injection state + message cloner (absent unless a
+    /// [`FaultPlan`] is installed, so un-faulted simulations pay nothing
+    /// and their event stream is untouched).
+    fault: Option<(FaultState, MsgCloner<M>)>,
     timer_seq: u64,
     cancelled: HashSet<TimerId>,
     trace_enabled: bool,
@@ -193,6 +204,7 @@ impl<M: std::fmt::Debug + 'static> Sim<M> {
             events_processed: 0,
             net,
             wire: None,
+            fault: None,
             timer_seq: 0,
             cancelled: HashSet::new(),
             trace_enabled: false,
@@ -277,6 +289,88 @@ impl<M: std::fmt::Debug + 'static> Sim<M> {
         self.metrics.incr_id_by(b, meta.bytes as u64);
         self.metrics.incr_id(m);
         meta.bytes
+    }
+
+    /// Install a seeded [`FaultPlan`]: from now on every deliverable
+    /// remote message passes through the fault layer (drop / duplicate /
+    /// reorder / jitter per link class, directional cuts), and the plan's
+    /// scheduled cuts and crashes are queued as control events. `cloner`
+    /// produces the second copy of duplicated messages.
+    ///
+    /// Fault decisions draw from a dedicated RNG seeded by the plan, so
+    /// installing an inert plan (all rates zero, nothing scheduled)
+    /// leaves the simulated event stream identical to not installing one
+    /// at all — only the `faults.*` counters (all zero) appear.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan, cloner: MsgCloner<M>) {
+        let state = FaultState::new(&plan, &mut self.metrics);
+        self.fault = Some((state, cloner));
+        for cut in &plan.cuts {
+            let (a, b, oneway) = (cut.a.clone(), cut.b.clone(), cut.oneway);
+            self.schedule_in(
+                cut.at,
+                Box::new(move |s: &mut Sim<M>| {
+                    for &x in &a {
+                        for &y in &b {
+                            s.fault_cut(x, y, oneway);
+                        }
+                    }
+                }),
+            );
+            if let Some(heal_after) = cut.heal_after {
+                let (a, b) = (cut.a.clone(), cut.b.clone());
+                self.schedule_in(
+                    cut.at + heal_after,
+                    Box::new(move |s: &mut Sim<M>| {
+                        for &x in &a {
+                            for &y in &b {
+                                s.fault_heal(x, y);
+                            }
+                        }
+                    }),
+                );
+            }
+        }
+        for crash in &plan.crashes {
+            let node = crash.node;
+            self.schedule_in(crash.at, Box::new(move |s: &mut Sim<M>| s.crash(node)));
+        }
+    }
+
+    /// True when a [`FaultPlan`] is installed.
+    pub fn has_fault_plan(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    fn fault_state_mut(&mut self) -> &mut FaultState {
+        &mut self
+            .fault
+            .as_mut()
+            .expect("install a FaultPlan first (Sim::set_fault_plan)")
+            .0
+    }
+
+    /// Cut the `a → b` link (and `b → a` unless `oneway`) at the fault
+    /// layer. Unlike [`NetConfig::partition`], cuts can be asymmetric and
+    /// are bookkept by the fault engine (`faults.cut` counts vetoed
+    /// messages). Requires an installed plan.
+    pub fn fault_cut(&mut self, a: NodeId, b: NodeId, oneway: bool) {
+        self.fault_state_mut().cut_link(a, b, oneway);
+    }
+
+    /// Heal a fault-layer cut (both directions). Requires an installed plan.
+    pub fn fault_heal(&mut self, a: NodeId, b: NodeId) {
+        self.fault_state_mut().heal_link(a, b);
+    }
+
+    /// Heal every fault-layer cut. Requires an installed plan.
+    pub fn fault_heal_all(&mut self) {
+        self.fault_state_mut().heal_all();
+    }
+
+    /// Replace the fault class of one node (`Some`) or the default class
+    /// (`None`) mid-run. Requires an installed plan.
+    pub fn set_link_faults(&mut self, node: Option<NodeId>, faults: LinkFaults) {
+        self.fault_state_mut().set_class(node, faults);
     }
 
     /// Enable/disable message tracing (debug aid; capped buffer).
@@ -476,7 +570,30 @@ impl<M: std::fmt::Debug + 'static> Sim<M> {
             self.metrics.incr_id(self.hot.msgs_sent);
             let bytes = self.meter_msg(&msg);
             match self.net.route_sized(&mut self.rng, from, to, bytes) {
-                Some(delay) => {
+                Some(mut delay) => {
+                    // Fault layer: may veto, delay or duplicate the
+                    // deliverable message. Draws only from the plan's own
+                    // RNG; absent a plan this is a single `None` check.
+                    let mut duplicate: Option<(M, Duration)> = None;
+                    if from != to {
+                        if let Some((fault, cloner)) = self.fault.as_mut() {
+                            match fault.judge(&mut self.metrics, from, to) {
+                                Verdict::Cut | Verdict::Drop => {
+                                    self.metrics.incr_id(self.hot.msgs_dropped);
+                                    continue;
+                                }
+                                Verdict::Deliver {
+                                    extra,
+                                    duplicate_extra,
+                                } => {
+                                    delay += extra;
+                                    if let Some(d) = duplicate_extra {
+                                        duplicate = Some((cloner(&msg), delay + d));
+                                    }
+                                }
+                            }
+                        }
+                    }
                     if self.trace_enabled && self.trace.len() < self.trace_cap {
                         self.trace.push(format!(
                             "{} {:?} -> {:?} (+{}) {:?}",
@@ -490,6 +607,22 @@ impl<M: std::fmt::Debug + 'static> Sim<M> {
                         seq,
                         kind: EventKind::Deliver { to, from, msg },
                     });
+                    if let Some((copy, dup_delay)) = duplicate {
+                        // The duplicate crosses the wire too: meter it and
+                        // deliver it after its extra delay.
+                        self.meter_msg(&copy);
+                        let at = self.now + dup_delay;
+                        let seq = self.next_seq();
+                        self.queue.push(Entry {
+                            at,
+                            seq,
+                            kind: EventKind::Deliver {
+                                to,
+                                from,
+                                msg: copy,
+                            },
+                        });
+                    }
                 }
                 None => {
                     self.metrics.incr_id(self.hot.msgs_dropped);
@@ -904,6 +1037,256 @@ mod tests {
             }
         }
         assert!(names.iter().all(|n| !n.starts_with("wire.")), "{names:?}");
+    }
+
+    #[test]
+    fn timer_armed_in_the_kill_tick_never_fires_for_the_dead_incarnation() {
+        // The fault engine schedules kills as control events, so a timer
+        // armed by a delivery or timer upcall in the *same tick* as the
+        // kill is common. Whatever the (time, seq) interleaving, a timer
+        // armed by incarnation e must never fire into incarnation e+1.
+        //
+        // Interleaving A: the kill control was scheduled first (lower
+        // seq), so at the shared tick it runs BEFORE the delivery that
+        // would have armed a timer — the delivery hits a crashed node.
+        // Interleaving B: the timer event fires first (lower seq), arms
+        // its successor timer, and the kill+restart control runs second
+        // in the same tick — the successor timer belongs to the dead
+        // incarnation and must be suppressed.
+        let mut sim = new_sim();
+        let b = sim.add_node(Echo {
+            pongs: 0,
+            ticks: 0,
+            peer: None,
+        });
+        let a = sim.add_node(Echo {
+            pongs: 0,
+            ticks: 0,
+            peer: Some(b),
+        });
+        // Echo ticks at 10, 20, 30, … (armed in on_start / re-armed in
+        // on_timer). Run past the first tick so the 20 ms timer is armed
+        // with a seq LOWER than the control we schedule now.
+        sim.run_until(Time::from_millis(15));
+        sim.schedule_at(
+            Time::from_millis(20),
+            Box::new(move |s: &mut Sim<Msg>| {
+                // Interleaving B: the 20 ms tick (seq below ours) already
+                // fired in this very tick and re-armed the 30 ms timer.
+                assert_eq!(s.node_as::<Echo>(a).unwrap().ticks, 2);
+                s.crash(a);
+                s.restart_node(
+                    a,
+                    Echo {
+                        pongs: 0,
+                        ticks: 0,
+                        peer: Some(b),
+                    },
+                );
+            }),
+        );
+        sim.run_until(Time::from_secs(1));
+        let st = sim.node_as::<Echo>(a).unwrap();
+        // Exactly the fresh incarnation's 5 ticks: had the dead
+        // incarnation's 30 ms timer leaked, a 6th tick would appear.
+        assert_eq!(st.ticks, 5, "stale timer fired into the new incarnation");
+        // 5 pongs answer the new incarnation's pings, plus exactly one
+        // in-flight pong answering the ping the dead incarnation sent at
+        // its final tick: messages (unlike timers) still arrive after a
+        // restart — the network does not know the process was replaced.
+        assert_eq!(st.pongs, 6);
+
+        // Interleaving A: schedule the kill control BEFORE the node ever
+        // runs, timed exactly on a tick boundary. The control (lower seq)
+        // runs first, so the tick delivery lands on a crashed node and
+        // the restarted incarnation starts from a clean slate.
+        let mut sim = new_sim();
+        let b = sim.add_node(Echo {
+            pongs: 0,
+            ticks: 0,
+            peer: None,
+        });
+        sim.schedule_at(
+            Time::from_millis(10),
+            Box::new(move |s: &mut Sim<Msg>| {
+                s.crash(b);
+                s.restart_node(
+                    b,
+                    Echo {
+                        pongs: 0,
+                        ticks: 0,
+                        peer: None,
+                    },
+                );
+            }),
+        );
+        let _a = sim.add_node(Echo {
+            pongs: 0,
+            ticks: 0,
+            peer: Some(b),
+        });
+        sim.run_until(Time::from_secs(1));
+        // b's first incarnation armed its 10 ms tick at t=0; the control
+        // at t=10 ms (earlier seq) killed+restarted it first, so that
+        // timer is epoch-suppressed and only the new incarnation ticks.
+        assert_eq!(sim.node_as::<Echo>(b).unwrap().ticks, 5);
+        assert_eq!(sim.metrics().counter("sim.restarts"), 1);
+    }
+
+    #[test]
+    fn repeated_same_tick_kill_restart_cycles_keep_epochs_straight() {
+        // The master-crash-storm scenario kills and restarts the same
+        // node several times; each incarnation's timers must be isolated.
+        let mut sim = new_sim();
+        let b = sim.add_node(Echo {
+            pongs: 0,
+            ticks: 0,
+            peer: None,
+        });
+        let a = sim.add_node(Echo {
+            pongs: 0,
+            ticks: 0,
+            peer: Some(b),
+        });
+        for k in 1..=3u64 {
+            sim.schedule_at(
+                Time::from_millis(20 * k),
+                Box::new(move |s: &mut Sim<Msg>| {
+                    s.crash(a);
+                    s.restart_node(
+                        a,
+                        Echo {
+                            pongs: 0,
+                            ticks: 0,
+                            peer: Some(b),
+                        },
+                    );
+                }),
+            );
+        }
+        sim.run_until(Time::from_secs(1));
+        // Only the final incarnation's 5 ticks survive; any epoch mixup
+        // would add ticks from the three dead incarnations.
+        assert_eq!(sim.node_as::<Echo>(a).unwrap().ticks, 5);
+        assert_eq!(sim.metrics().counter("sim.restarts"), 3);
+    }
+
+    #[test]
+    fn fault_plan_drops_and_duplicates_messages() {
+        use crate::fault::{FaultPlan, LinkFaults};
+        let run = |drop: f64, dup: f64| {
+            let mut sim = new_sim();
+            let mut lf = LinkFaults::none();
+            lf.drop = drop;
+            lf.duplicate = dup;
+            sim.set_fault_plan(
+                FaultPlan::new(99).with_default(lf),
+                Box::new(|m: &Msg| match m {
+                    Msg::Ping(n) => Msg::Ping(*n),
+                    Msg::Pong(n) => Msg::Pong(*n),
+                }),
+            );
+            let b = sim.add_node(Echo {
+                pongs: 0,
+                ticks: 0,
+                peer: None,
+            });
+            let _a = sim.add_node(Echo {
+                pongs: 0,
+                ticks: 0,
+                peer: Some(b),
+            });
+            sim.run_until(Time::from_secs(1));
+            (
+                sim.metrics().counter("sim.msgs_delivered"),
+                sim.metrics().counter("faults.dropped"),
+                sim.metrics().counter("faults.duplicated"),
+            )
+        };
+        // Certain drop: every remote ping vanishes (5 sent, 0 delivered).
+        let (delivered, dropped, _) = run(1.0, 0.0);
+        assert_eq!(delivered, 0);
+        assert_eq!(dropped, 5);
+        // Certain duplication: every remote message is delivered twice
+        // (5 pings + their 10 pongs, each doubled → 10 pings, pongs vary
+        // because each duplicated ping is answered too).
+        let (delivered, _, duplicated) = run(0.0, 1.0);
+        assert!(duplicated >= 10, "duplicated {duplicated}");
+        assert_eq!(delivered, 2 * duplicated);
+    }
+
+    #[test]
+    fn fault_cut_blocks_until_healed_and_oneway_is_asymmetric() {
+        use crate::fault::FaultPlan;
+        let mut sim = new_sim();
+        sim.set_fault_plan(
+            FaultPlan::new(5),
+            Box::new(|m: &Msg| match m {
+                Msg::Ping(n) => Msg::Ping(*n),
+                Msg::Pong(n) => Msg::Pong(*n),
+            }),
+        );
+        let b = sim.add_node(Echo {
+            pongs: 0,
+            ticks: 0,
+            peer: None,
+        });
+        let a = sim.add_node(Echo {
+            pongs: 0,
+            ticks: 0,
+            peer: Some(b),
+        });
+        // Cut only a → b: pings vanish, so no pongs either.
+        sim.fault_cut(a, b, true);
+        sim.run_until(Time::from_millis(25));
+        assert_eq!(sim.node_as::<Echo>(a).unwrap().pongs, 0);
+        assert!(sim.metrics().counter("faults.cut") >= 2);
+        // Heal: the remaining ticks' pings flow and are answered (the
+        // b → a direction was never cut).
+        sim.fault_heal(a, b);
+        sim.run_until(Time::from_secs(1));
+        assert_eq!(sim.node_as::<Echo>(a).unwrap().pongs, 3);
+    }
+
+    #[test]
+    fn scheduled_plan_cut_heals_itself_and_crash_fires() {
+        use crate::fault::{FaultPlan, ScheduledCut};
+        let mut sim = new_sim();
+        let b_id = NodeId(0);
+        let a_id = NodeId(1);
+        sim.set_fault_plan(
+            FaultPlan::new(6)
+                .with_cut(ScheduledCut {
+                    at: Duration::from_millis(5),
+                    heal_after: Some(Duration::from_millis(30)),
+                    a: vec![a_id],
+                    b: vec![b_id],
+                    oneway: false,
+                })
+                .with_crash(Duration::from_millis(45), a_id),
+            Box::new(|m: &Msg| match m {
+                Msg::Ping(n) => Msg::Ping(*n),
+                Msg::Pong(n) => Msg::Pong(*n),
+            }),
+        );
+        let b = sim.add_node(Echo {
+            pongs: 0,
+            ticks: 0,
+            peer: None,
+        });
+        let a = sim.add_node(Echo {
+            pongs: 0,
+            ticks: 0,
+            peer: Some(b),
+        });
+        assert_eq!((a, b), (a_id, b_id));
+        sim.run_until(Time::from_secs(1));
+        // Ticks at 10/20/30 fell inside the cut window (5..35); the 40 ms
+        // ping got through before the crash at 45 ms killed a.
+        assert_eq!(sim.node_as::<Echo>(a).unwrap().pongs, 1);
+        assert_eq!(sim.node_state(a), NodeState::Crashed);
+        assert_eq!(sim.metrics().counter("sim.crashes"), 1);
+        assert_eq!(sim.metrics().counter("faults.cut"), 3);
     }
 
     #[test]

@@ -8,7 +8,11 @@
 //!   times, Zipf document popularity, insert/delete/change line mixes,
 //!   unique attributable lines (so lost updates are detectable);
 //! * [`churn`] — scripted and randomized joins, graceful leaves and
-//!   crashes, with protected peers and a minimum-alive floor.
+//!   crashes, with protected peers and a minimum-alive floor;
+//! * [`scenario`] — named fault scenarios as data (partitions during
+//!   handoff, master crash storms, duplicate-heavy links, …) executed by
+//!   one driver over the `simnet` fault engine, every run ending in the
+//!   invariant oracles.
 //!
 //! Everything is seeded and replayable.
 
@@ -17,7 +21,12 @@
 pub mod churn;
 pub mod driver;
 pub mod editors;
+pub mod scenario;
 
 pub use churn::{drive_churn, schedule_crash, schedule_join, schedule_leave, ChurnSpec};
 pub use driver::{drive_editors, EditorSpec};
 pub use editors::{mutate_text, EditKind, EditMix};
+pub use scenario::{
+    named_scenarios, run_scenario, ChurnLoad, FaultAction, FaultEvent, Scenario, ScenarioOutcome,
+    Who,
+};

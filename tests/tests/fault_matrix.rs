@@ -1,0 +1,69 @@
+//! The scenario matrix as individual integration tests: every named
+//! fault scenario (quick sizing) must end with all three correctness
+//! oracles green. One test per scenario so a violation names its
+//! scenario directly in the test report, plus the zero-fault identity
+//! pin (an inert fault plan must not perturb the event stream at all).
+
+use workload::scenario::{named_scenarios, run_scenario, Scenario};
+
+/// Fixed seeds, aligned with `exp_fault` (`seed_for`).
+fn run_named(name: &str) -> workload::scenario::ScenarioOutcome {
+    let scenarios = named_scenarios(true);
+    let (i, sc): (usize, &Scenario) = scenarios
+        .iter()
+        .enumerate()
+        .find(|(_, s)| s.name == name)
+        .unwrap_or_else(|| panic!("unknown scenario {name}"));
+    let out = run_scenario(sc, 0xFA_0000 + i as u64);
+    assert!(
+        out.ok(),
+        "scenario {name} violated an invariant: {}",
+        out.detail
+    );
+    out
+}
+
+#[test]
+fn scenario_partition_during_handoff() {
+    let out = run_named("partition_during_handoff");
+    assert!(out.faults_cut > 0, "the partition never bit: {out:?}");
+    assert!(out.grants > 0);
+}
+
+#[test]
+fn scenario_master_crash_storm() {
+    let out = run_named("master_crash_storm");
+    assert!(out.crashes >= 3, "storm too small: {out:?}");
+    assert_eq!(out.restarts, out.crashes, "every crash restarts from disk");
+}
+
+#[test]
+fn scenario_churn_under_load() {
+    let out = run_named("churn_under_load");
+    assert!(out.crashes > 0, "churn never crashed anyone: {out:?}");
+    assert!(out.grants > 0);
+}
+
+#[test]
+fn scenario_dup_heavy_links() {
+    let out = run_named("dup_heavy_links");
+    assert!(out.faults_duplicated > 100, "dup rate too low: {out:?}");
+}
+
+#[test]
+fn scenario_asym_partition_master_users() {
+    let out = run_named("asym_partition_master_users");
+    assert!(out.faults_cut > 0, "one-way cut never bit: {out:?}");
+}
+
+#[test]
+fn scenario_laggy_master() {
+    let out = run_named("laggy_master");
+    assert!(out.grants > 0);
+}
+
+#[test]
+fn scenario_lossy_links() {
+    let out = run_named("lossy_links");
+    assert!(out.faults_dropped > 0, "loss never bit: {out:?}");
+}
