@@ -3,7 +3,7 @@
 //! [`crate::stabilize`], and the storage protocol in
 //! [`crate::storage_proto`].
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use bytes::Bytes;
 
@@ -67,11 +67,13 @@ pub struct ChordNode {
     pub(crate) next_finger: usize,
     pub(crate) store: Storage,
     pub(crate) store_version: u64,
+    // detlint::allow(DET-HASH, keyed acks from a specific successor; never iterated)
     pub(crate) replicated_to: HashMap<NodeId, u64>,
+    // detlint::allow(DET-HASH, hot per-op lookup; ops complete or time out individually, never iterated)
     pub(crate) ops: HashMap<OpId, OpState>,
     pub(crate) op_seq: u64,
     pub(crate) joined: bool,
-    pub(crate) suspects: HashMap<NodeId, Time>,
+    pub(crate) suspects: BTreeMap<NodeId, Time>,
     /// Consecutive predecessor-ping losses (reset by any pong from the
     /// current predecessor or a predecessor change). The predecessor is
     /// only declared dead at `cfg.fail_threshold`.
@@ -80,7 +82,7 @@ pub struct ChordNode {
     pub(crate) succ_fails: u32,
     /// In-flight re-home puts (orphaned primary → true owner): op → key.
     /// See the orphan sweep in `tick_replicate`.
-    pub(crate) rehoming: HashMap<OpId, Id>,
+    pub(crate) rehoming: BTreeMap<OpId, Id>,
     pub(crate) acts: Vec<Action>,
     /// Cumulative hop count of completed lookups (for metrics).
     pub(crate) total_lookup_hops: u64,
@@ -99,14 +101,14 @@ impl ChordNode {
             next_finger: 0,
             store: Storage::new(),
             store_version: 0,
-            replicated_to: HashMap::new(),
-            ops: HashMap::new(),
+            replicated_to: HashMap::new(), // detlint::allow(DET-HASH, lookup-only; see field decl)
+            ops: HashMap::new(),           // detlint::allow(DET-HASH, lookup-only; see field decl)
             op_seq: 0,
             joined: false,
-            suspects: HashMap::new(),
+            suspects: BTreeMap::new(),
             pred_fails: 0,
             succ_fails: 0,
-            rehoming: HashMap::new(),
+            rehoming: BTreeMap::new(),
             acts: Vec::new(),
             total_lookup_hops: 0,
             completed_lookups: 0,

@@ -11,7 +11,7 @@
 //! `1/service_time`, and when it crashes *all* editing stops — the two
 //! effects experiment B1 measures.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use bytes::Bytes;
 
@@ -125,7 +125,7 @@ pub struct Coordinator {
     /// Pre-registered grant counter (filled on first use).
     grants: Option<CounterId>,
     /// Per-document logs: `log[doc][i]` holds the patch with ts `i+1`.
-    logs: HashMap<String, Vec<Bytes>>,
+    logs: BTreeMap<String, Vec<Bytes>>,
     queue: VecDeque<BaseMsg>,
     busy: bool,
 }
@@ -136,7 +136,7 @@ impl Coordinator {
         Coordinator {
             service_time,
             grants: None,
-            logs: HashMap::new(),
+            logs: BTreeMap::new(),
             queue: VecDeque::new(),
             busy: false,
         }
@@ -279,7 +279,7 @@ pub struct BaselineUser {
     // BTreeMap: the sync timer iterates docs to issue Sync commands; the
     // order must be deterministic for reproducible runs.
     docs: BTreeMap<String, BaseDoc>,
-    ops: HashMap<u64, String>,
+    ops: BTreeMap<u64, String>,
     op_seq: u64,
     validate_timeout: Duration,
     sync_every: Option<Duration>,
@@ -308,7 +308,7 @@ impl BaselineUser {
             site,
             coordinator,
             docs: BTreeMap::new(),
-            ops: HashMap::new(),
+            ops: BTreeMap::new(),
             op_seq: 0,
             validate_timeout,
             sync_every,
@@ -467,14 +467,15 @@ impl Process<BaseMsg> for BaselineUser {
                 };
                 let now = ctx.now();
                 let c = self.c(ctx.metrics());
-                let state = self.docs.get_mut(&doc).expect("doc open");
+                let Some(state) = self.docs.get_mut(&doc) else {
+                    return;
+                };
                 if state.phase != Phase::Validating || ts != state.replica.ts + 1 {
                     return;
                 }
-                state
-                    .replica
-                    .acknowledge_own(ts)
-                    .expect("own patch applies");
+                let acked = state.replica.acknowledge_own(ts);
+                // detlint::allow(TOT-PANIC, phase==Validating with ts==replica.ts+1 means our own pending patch applies to its base; local OT invariant)
+                acked.expect("own patch applies");
                 state.inflight = None;
                 state.phase = Phase::Idle;
                 self.published += 1;
@@ -490,7 +491,9 @@ impl Process<BaseMsg> for BaselineUser {
                     Some(d) => d,
                     None => return,
                 };
-                let state = self.docs.get_mut(&doc).expect("doc open");
+                let Some(state) = self.docs.get_mut(&doc) else {
+                    return;
+                };
                 if state.phase != Phase::Validating {
                     return;
                 }
@@ -515,7 +518,9 @@ impl Process<BaseMsg> for BaselineUser {
                     None => return,
                 };
                 let c = self.c(ctx.metrics());
-                let state = self.docs.get_mut(&doc).expect("doc open");
+                let Some(state) = self.docs.get_mut(&doc) else {
+                    return;
+                };
                 if state.phase != Phase::Fetching && state.phase != Phase::Idle {
                     return;
                 }
@@ -527,6 +532,7 @@ impl Process<BaseMsg> for BaselineUser {
                     if i == 0 || state.inflight.is_some() {
                         if let Some((_, sent)) = &state.inflight {
                             if sent == bytes {
+                                // detlint::allow(TOT-PANIC, byte-identical to the patch we sent from this base; local OT invariant)
                                 state.replica.acknowledge_own(*ts).expect("own applies");
                                 state.inflight = None;
                                 self.published += 1;
@@ -539,10 +545,9 @@ impl Process<BaseMsg> for BaselineUser {
                         Ok(p) => p,
                         Err(_) => break,
                     };
-                    state
-                        .replica
-                        .integrate_remote(*ts, &patch)
-                        .expect("baseline integration");
+                    let integrated = state.replica.integrate_remote(*ts, &patch);
+                    // detlint::allow(TOT-PANIC, ts==replica.ts+1 was checked above so the in-order integration cannot fail; local OT invariant)
+                    integrated.expect("baseline integration");
                     ctx.metrics().incr_id(c.integrated);
                 }
                 state.phase = Phase::Idle;
@@ -593,7 +598,9 @@ impl Process<BaseMsg> for BaselineUser {
                 // down; count the outage.
                 let c = self.c(ctx.metrics());
                 ctx.metrics().incr_id(c.validate_timeout);
-                let state = self.docs.get_mut(&doc).expect("doc open");
+                let Some(state) = self.docs.get_mut(&doc) else {
+                    return;
+                };
                 if state.phase == Phase::Validating
                     && state.inflight.as_ref().is_some_and(|(o, _)| *o == op)
                 {

@@ -8,7 +8,7 @@
 //! * **convergence** — all live replicas of a document expose identical
 //!   text (eventual consistency).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use simnet::Sim;
 
@@ -115,7 +115,7 @@ pub fn check_total_order(sim: &Sim<Payload>) -> OrderReport {
             Some(n) => n,
             None => continue,
         };
-        let mut last: HashMap<&str, u64> = HashMap::new();
+        let mut last: BTreeMap<&str, u64> = BTreeMap::new();
         for ev in &node.events {
             if let LtrEventKind::Integrated { doc, ts, .. } = &ev.kind {
                 let prev = last.get(doc.as_str()).copied().unwrap_or(0);
@@ -160,7 +160,7 @@ impl ConvergenceReport {
 /// Compare the working text of every live replica of every document.
 pub fn check_convergence(sim: &Sim<Payload>) -> ConvergenceReport {
     let mut report = ConvergenceReport::default();
-    let mut by_doc: BTreeMap<String, HashMap<u64, (usize, String)>> = BTreeMap::new();
+    let mut by_doc: BTreeMap<String, BTreeMap<u64, (usize, String)>> = BTreeMap::new();
     for id in sim.alive_nodes() {
         let node = match sim.node_as::<LtrNode>(id) {
             Some(n) => n,

@@ -233,14 +233,19 @@ pub struct LtrNode {
     // deterministic for reproducible runs.
     pub(crate) docs: BTreeMap<DocName, DocState>,
     pub(crate) req_seq: u64,
-    /// Outstanding KTS requests → document routing.
-    pub(crate) validate_reqs: HashMap<ReqId, DocName>,
-    pub(crate) lastts_reqs: HashMap<ReqId, DocName>,
+    /// Outstanding KTS requests → document routing. BTreeMap: recovery
+    /// and crash handling may sweep these, so order must be fixed.
+    pub(crate) validate_reqs: BTreeMap<ReqId, DocName>,
+    pub(crate) lastts_reqs: BTreeMap<ReqId, DocName>,
 
+    // detlint::allow(DET-HASH, per-op routing looked up by unique id on completion; never iterated)
     pub(crate) chord_ops: HashMap<OpId, OpPurpose>,
+    // detlint::allow(DET-HASH, keyed by unique publish seq; never iterated)
     pub(crate) publishes: HashMap<u64, PublishCtx>,
+    // detlint::allow(DET-HASH, keyed by unique probe seq; never iterated)
     pub(crate) probes: HashMap<u64, ProbeCtx>,
 
+    // detlint::allow(DET-HASH, timer tags resolve one at a time as timers fire; never iterated)
     pub(crate) timer_tags: HashMap<u64, CoreTimer>,
     pub(crate) tag_seq: u64,
     /// Counter handles; registered on the first upcall (`on_start`).
@@ -292,12 +297,12 @@ impl LtrNode {
             journaling,
             docs: BTreeMap::new(),
             req_seq: 0,
-            validate_reqs: HashMap::new(),
-            lastts_reqs: HashMap::new(),
-            chord_ops: HashMap::new(),
-            publishes: HashMap::new(),
-            probes: HashMap::new(),
-            timer_tags: HashMap::new(),
+            validate_reqs: BTreeMap::new(),
+            lastts_reqs: BTreeMap::new(),
+            chord_ops: HashMap::new(), // detlint::allow(DET-HASH, lookup-only; see field decl)
+            publishes: HashMap::new(), // detlint::allow(DET-HASH, lookup-only; see field decl)
+            probes: HashMap::new(),    // detlint::allow(DET-HASH, lookup-only; see field decl)
+            timer_tags: HashMap::new(), // detlint::allow(DET-HASH, lookup-only; see field decl)
             tag_seq: 0,
             counters: None,
             events: Vec::new(),

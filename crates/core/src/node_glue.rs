@@ -165,7 +165,7 @@ impl LtrNode {
             None => return,
         };
         // Pass 1: decode stored records, find per-doc high watermarks.
-        let mut high: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
+        let mut high: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
         let mut records: Vec<(chord::Id, String, u64)> = Vec::new();
         for (k, v) in self
             .chord

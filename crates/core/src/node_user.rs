@@ -221,10 +221,9 @@ impl LtrNode {
             .as_ref()
             .map(|i| i.op_count)
             .unwrap_or_else(|| state.replica.pending().map(|p| p.len()).unwrap_or(0));
-        state
-            .replica
-            .acknowledge_own_prefix(ts, prefix)
-            .expect("own patch must apply to its base");
+        let acked = state.replica.acknowledge_own_prefix(ts, prefix);
+        // detlint::allow(TOT-PANIC, grant for ts==replica.ts+1 implies our own pending prefix applies; local OT invariant)
+        acked.expect("own patch applies");
         state.inflight = None;
         state.phase = UserPhase::Idle;
         let latency_ms = state
@@ -543,7 +542,9 @@ impl LtrNode {
                     return;
                 }
                 RetrieveEvent::Done => {
-                    let state = self.docs.get_mut(doc.as_str()).expect("doc exists");
+                    let Some(state) = self.docs.get_mut(doc.as_str()) else {
+                        return;
+                    };
                     let resume = state
                         .retr
                         .take()

@@ -1,0 +1,169 @@
+//! Suppression machinery: inline `detlint::allow` annotations and the
+//! committed `detlint.baseline` file.
+//!
+//! * `// detlint::allow(RULE, reason)` suppresses RULE on its own line and
+//!   the line immediately below — the annotation sits beside or above the
+//!   code it justifies.
+//! * `// detlint::allow-file(RULE, reason)` anywhere in a file suppresses
+//!   RULE for the whole file (for modules that are exempt by contract,
+//!   e.g. the real-time TCP runner vs DET-CLOCK).
+//! * `detlint.baseline` lines of `RULE<TAB>path<TAB>trimmed-source-line`
+//!   grandfather known findings without touching the source. The file is
+//!   meant to shrink: new code should use inline allows with reasons.
+//!
+//! A reason is mandatory; an allow without one (or naming an unknown
+//! rule) is an ALLOW-SYNTAX finding. Allows that suppress nothing are
+//! reported as unused (errors under `--deny`), so stale suppressions
+//! cannot linger.
+
+use crate::rules::{rule, Finding};
+
+/// One parsed allow annotation.
+#[derive(Clone, Debug)]
+pub struct Allow {
+    /// 1-based line it sits on.
+    pub line: usize,
+    /// Rule it suppresses.
+    pub rule: String,
+    /// Whole-file scope?
+    pub file_scope: bool,
+    /// Number of findings it suppressed (filled during filtering).
+    pub used: usize,
+}
+
+/// Parse all allow annotations in `src`; malformed ones become findings.
+pub fn parse_allows(rel: &str, src: &str, findings: &mut Vec<Finding>) -> Vec<Allow> {
+    let mut out = Vec::new();
+    for (idx, line) in src.lines().enumerate() {
+        let lineno = idx + 1;
+        for (marker, file_scope) in [("detlint::allow-file(", true), ("detlint::allow(", false)] {
+            let Some(off) = line.find(marker) else {
+                continue;
+            };
+            let rest = &line[off + marker.len()..];
+            let Some(end) = rest.find(')') else {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: lineno,
+                    rule: "ALLOW-SYNTAX",
+                    msg: "unterminated detlint::allow annotation".to_string(),
+                });
+                continue;
+            };
+            let body = &rest[..end];
+            let (rule_id, reason) = match body.split_once(',') {
+                Some((r, reason)) => (r.trim(), reason.trim()),
+                None => (body.trim(), ""),
+            };
+            if rule(rule_id).is_none() {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: lineno,
+                    rule: "ALLOW-SYNTAX",
+                    msg: format!("unknown rule `{rule_id}` in allow annotation"),
+                });
+                continue;
+            }
+            if reason.is_empty() {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: lineno,
+                    rule: "ALLOW-SYNTAX",
+                    msg: format!(
+                        "allow({rule_id}) without a reason — write down why the \
+                         invariant holds here"
+                    ),
+                });
+                continue;
+            }
+            out.push(Allow {
+                line: lineno,
+                rule: rule_id.to_string(),
+                file_scope,
+                used: 0,
+            });
+            break; // one annotation per line
+        }
+    }
+    out
+}
+
+/// A parsed baseline: `(rule, path, trimmed line)` entries with use counts.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    entries: Vec<(String, String, String, usize)>,
+}
+
+impl Baseline {
+    /// Parse the baseline file text. `#` comments and blank lines ignored.
+    pub fn parse(text: &str) -> Self {
+        let mut entries = Vec::new();
+        for line in text.lines() {
+            let t = line.trim();
+            if t.is_empty() || t.starts_with('#') {
+                continue;
+            }
+            let mut parts = t.splitn(3, '\t');
+            if let (Some(r), Some(p), Some(snip)) = (parts.next(), parts.next(), parts.next()) {
+                entries.push((r.to_string(), p.to_string(), snip.trim().to_string(), 0));
+            }
+        }
+        Baseline { entries }
+    }
+
+    /// Does the baseline cover `f` (whose source line, trimmed, is
+    /// `snippet`)? Marks the entry used.
+    pub fn covers(&mut self, f: &Finding, snippet: &str) -> bool {
+        for (r, p, snip, used) in &mut self.entries {
+            if r == f.rule && p == &f.file && snip == snippet.trim() {
+                *used += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Entries that matched nothing (stale grandfathering).
+    pub fn unused(&self) -> Vec<String> {
+        self.entries
+            .iter()
+            .filter(|(_, _, _, used)| *used == 0)
+            .map(|(r, p, s, _)| format!("{r}\t{p}\t{s}"))
+            .collect()
+    }
+}
+
+/// Apply allows and baseline to raw findings for one file. Returns the
+/// surviving findings; `allows` use-counts are updated in place.
+pub fn filter_file(
+    raw: Vec<Finding>,
+    src: &str,
+    allows: &mut [Allow],
+    baseline: &mut Baseline,
+) -> Vec<Finding> {
+    let lines: Vec<&str> = src.lines().collect();
+    raw.into_iter()
+        .filter(|f| {
+            // ALLOW-SYNTAX findings cannot be suppressed by allows.
+            if f.rule == "ALLOW-SYNTAX" {
+                return true;
+            }
+            // Same-line allows first: a trailing annotation always claims
+            // its own line, even when the line above also carries one.
+            for a in allows.iter_mut() {
+                if a.rule == f.rule && !a.file_scope && a.line == f.line {
+                    a.used += 1;
+                    return false;
+                }
+            }
+            for a in allows.iter_mut() {
+                if a.rule == f.rule && (a.file_scope || a.line + 1 == f.line) {
+                    a.used += 1;
+                    return false;
+                }
+            }
+            let snippet = lines.get(f.line.saturating_sub(1)).copied().unwrap_or("");
+            !baseline.covers(f, snippet)
+        })
+        .collect()
+}

@@ -1,0 +1,16 @@
+// Allow-annotation fixture, scanned as a det crate:
+//  - line allow above the violation       -> suppressed
+//  - trailing allow on the violation line -> suppressed
+//  - allow with no reason                 -> ALLOW-SYNTAX + violation survives
+//  - unknown rule in allow                -> ALLOW-SYNTAX
+use std::collections::HashMap;
+// detlint::allow(DET-HASH, fixture: justified map)
+pub type Covered = HashMap<u64, u64>;
+
+pub type Trailing = HashMap<u64, u64>; // detlint::allow(DET-HASH, fixture: trailing)
+
+// detlint::allow(DET-HASH)
+pub type NoReason = HashMap<u64, u64>;
+
+// detlint::allow(NOT-A-RULE, whatever)
+pub type BadRule = HashMap<u64, u64>;

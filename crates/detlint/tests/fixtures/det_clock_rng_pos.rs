@@ -1,0 +1,11 @@
+// Positive DET-CLOCK / DET-RNG fixture.
+use std::time::{Instant, SystemTime};
+
+pub fn now_pair() -> (Instant, SystemTime) {
+    (Instant::now(), SystemTime::now())
+}
+
+pub fn entropy() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

@@ -1,0 +1,17 @@
+// Positive DET-HASH fixture: scanned as if it lived in a
+// sim-deterministic crate (e.g. crates/kts/src/...).
+use std::collections::{HashMap, HashSet};
+
+pub struct State {
+    pending: HashMap<u64, String>,
+    seen: HashSet<u64>,
+}
+
+impl State {
+    pub fn new() -> Self {
+        State {
+            pending: HashMap::new(),
+            seen: HashSet::new(),
+        }
+    }
+}

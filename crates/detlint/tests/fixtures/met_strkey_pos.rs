@@ -1,0 +1,6 @@
+// Positive MET-STRKEY fixture: string-keyed counter calls outside the
+// compat layer.
+pub fn bump(m: &mut simnet::Metrics) {
+    m.incr("hot.path.counter");
+    m.incr_by("hot.path.bytes", 42);
+}

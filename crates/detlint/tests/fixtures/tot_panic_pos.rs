@@ -1,0 +1,20 @@
+// Positive TOT-PANIC fixture: panics inside an `fn on_*` message handler
+// (scanned under any crate) and anywhere in a wire decode-path file.
+pub struct Node {
+    vals: std::collections::BTreeMap<u64, u64>,
+}
+
+impl Node {
+    pub fn on_message(&mut self, from: u64, raw: &[u8]) {
+        let first = raw[0]; // literal index: panics on empty input
+        let v = self.vals.get(&from).unwrap();
+        if *v != u64::from(first) {
+            panic!("mismatch");
+        }
+    }
+
+    pub fn helper(&self, raw: &[u8]) -> u8 {
+        // Outside on_* and outside wire paths: not TOT-PANIC territory.
+        raw.first().copied().unwrap_or(0)
+    }
+}

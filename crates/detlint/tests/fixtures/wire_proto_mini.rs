@@ -1,0 +1,26 @@
+// Miniature frozen-codec file used by the WIRE-TAGS tests: shaped like
+// crates/wire/src/proto.rs (encode pushes literal tags, decode matches
+// them back) without depending on the real wire crate.
+pub enum Msg {
+    Ping,
+    Pong,
+}
+
+impl Encode for Msg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Msg::Ping => out.push(0),
+            Msg::Pong => out.push(1),
+        }
+    }
+}
+
+impl Decode for Msg {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.read_u8()? {
+            0 => Ok(Msg::Ping),
+            1 => Ok(Msg::Pong),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}

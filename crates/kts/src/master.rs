@@ -17,7 +17,7 @@
 //! [`MasterAction::BeginProbe`], completed via [`KtsMaster::publish_done`] /
 //! [`KtsMaster::probe_done`].
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use bytes::Bytes;
 
@@ -165,8 +165,10 @@ pub struct KtsMaster {
     // iteration order, which must be deterministic for reproducible runs.
     entries: BTreeMap<Id, KeyEntry>,
     backups: BTreeMap<Id, Backup>,
-    inflight: HashMap<u64, InflightPublish>,
-    probing: HashMap<u64, Id>,
+    // BTreeMap: crash/handoff sweeps walk outstanding publishes and
+    // probes, so iteration order must be deterministic too.
+    inflight: BTreeMap<u64, InflightPublish>,
+    probing: BTreeMap<u64, Id>,
     token_seq: u64,
     acts: Vec<MasterAction>,
 }
@@ -178,8 +180,8 @@ impl KtsMaster {
             cfg,
             entries: BTreeMap::new(),
             backups: BTreeMap::new(),
-            inflight: HashMap::new(),
-            probing: HashMap::new(),
+            inflight: BTreeMap::new(),
+            probing: BTreeMap::new(),
             token_seq: 0,
             acts: Vec::new(),
         }
@@ -244,6 +246,7 @@ impl KtsMaster {
             return self.drain();
         }
         self.ensure_entry(key, key_name);
+        // detlint::allow(TOT-PANIC, ensure_entry on the line above inserted the key; local invariant, not remote input)
         let entry = self.entries.get_mut(&key).expect("just ensured");
         if entry.queue.len() >= self.cfg.max_queue_per_key {
             self.acts.push(MasterAction::Send(

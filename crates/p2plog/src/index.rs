@@ -1,7 +1,7 @@
 //! Per-node index of the log records it stores, enabling watermark-based
 //! garbage collection (an extension: the paper leaves log growth open).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use chord::Id;
 
@@ -10,7 +10,7 @@ use chord::Id;
 /// record under different `h_i`).
 #[derive(Clone, Debug, Default)]
 pub struct LogIndex {
-    per_doc: HashMap<String, BTreeMap<u64, Vec<Id>>>,
+    per_doc: BTreeMap<String, BTreeMap<u64, Vec<Id>>>,
 }
 
 impl LogIndex {

@@ -186,9 +186,9 @@ impl Retriever {
         loop {
             match self.states.get(&self.next_emit) {
                 Some(TsState::Ready(_)) => {
-                    let bytes = match self.states.remove(&self.next_emit) {
-                        Some(TsState::Ready(b)) => b,
-                        _ => unreachable!(),
+                    // Just observed Ready above; the other arms cannot hit.
+                    let Some(TsState::Ready(bytes)) = self.states.remove(&self.next_emit) else {
+                        break;
                     };
                     events.push(RetrieveEvent::Deliver {
                         ts: self.next_emit,

@@ -27,7 +27,7 @@
 //! by the epoch stamp (see `Sim::restart_node`), which the fault engine
 //! exercises constantly.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::metrics::{CounterId, Metrics};
 use crate::rng::Rng64;
@@ -189,7 +189,7 @@ pub(crate) struct FaultState {
     overrides: BTreeMap<NodeId, LinkFaults>,
     rng: Rng64,
     /// Directional cut edges `(from, to)`.
-    cut: HashSet<(NodeId, NodeId)>,
+    cut: BTreeSet<(NodeId, NodeId)>,
     counters: FaultCounters,
 }
 
@@ -199,7 +199,7 @@ impl FaultState {
             default: plan.default.clone(),
             overrides: plan.node_overrides.clone(),
             rng: Rng64::new(plan.seed),
-            cut: HashSet::new(),
+            cut: BTreeSet::new(),
             counters: FaultCounters {
                 dropped: metrics.register_counter("faults.dropped"),
                 duplicated: metrics.register_counter("faults.duplicated"),

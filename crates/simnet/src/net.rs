@@ -3,7 +3,7 @@
 //! The paper's prototype let the operator "specify the number of peers or
 //! network latencies, or provoke failures"; this module is that knob set.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use crate::rng::Rng64;
 use crate::time::Duration;
@@ -93,7 +93,7 @@ pub struct NetConfig {
     /// opening bandwidth-constrained scenarios.
     pub bandwidth: Option<u64>,
     /// Blocked unordered pairs (network partition edges).
-    partitions: HashSet<(NodeId, NodeId)>,
+    partitions: BTreeSet<(NodeId, NodeId)>,
 }
 
 impl Default for NetConfig {
@@ -103,7 +103,7 @@ impl Default for NetConfig {
             local_delay: Duration::from_micros(10),
             loss: 0.0,
             bandwidth: None,
-            partitions: HashSet::new(),
+            partitions: BTreeSet::new(),
         }
     }
 }

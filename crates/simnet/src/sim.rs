@@ -9,7 +9,7 @@
 
 use std::any::Any;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 
 use crate::fault::{FaultPlan, FaultState, LinkFaults, Verdict};
 use crate::metrics::{CounterId, Metrics};
@@ -182,7 +182,7 @@ pub struct Sim<M> {
     /// and their event stream is untouched).
     fault: Option<(FaultState, MsgCloner<M>)>,
     timer_seq: u64,
-    cancelled: HashSet<TimerId>,
+    cancelled: BTreeSet<TimerId>,
     trace_enabled: bool,
     trace: Vec<String>,
     trace_cap: usize,
@@ -206,7 +206,7 @@ impl<M: std::fmt::Debug + 'static> Sim<M> {
             wire: None,
             fault: None,
             timer_seq: 0,
-            cancelled: HashSet::new(),
+            cancelled: BTreeSet::new(),
             trace_enabled: false,
             trace: Vec::new(),
             trace_cap: 100_000,

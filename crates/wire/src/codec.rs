@@ -217,7 +217,20 @@ impl<'a> Reader<'a> {
     #[inline]
     pub fn read_u64_le(&mut self) -> Result<u64, WireError> {
         let s = self.take(8)?;
-        Ok(u64::from_le_bytes(s.try_into().expect("len checked")))
+        match <[u8; 8]>::try_from(s) {
+            Ok(a) => Ok(u64::from_le_bytes(a)),
+            Err(_) => Err(WireError::Truncated),
+        }
+    }
+
+    /// Read a fixed 4-byte little-endian `u32` (frame headers).
+    #[inline]
+    pub fn read_u32_le(&mut self) -> Result<u32, WireError> {
+        let s = self.take(4)?;
+        match <[u8; 4]>::try_from(s) {
+            Ok(a) => Ok(u32::from_le_bytes(a)),
+            Err(_) => Err(WireError::Truncated),
+        }
     }
 
     /// Read a length-prefixed byte payload as [`Bytes`] (sliced from the

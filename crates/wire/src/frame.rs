@@ -57,12 +57,12 @@ pub fn frame_len<M: Encode>(msg: &M) -> usize {
 /// `(sender, message)`. The buffer must contain exactly one frame.
 pub fn decode_frame<M: Decode>(frame: &[u8]) -> Result<(NodeId, M), WireError> {
     let mut r = Reader::new(frame);
-    let len = u32::from_le_bytes(r.take(4)?.try_into().expect("len checked")) as usize;
+    let len = r.read_u32_le()? as usize;
     if len > MAX_FRAME_LEN {
         return Err(WireError::FrameTooLarge { len });
     }
     if len != frame.len().saturating_sub(4) {
-        return Err(if len > frame.len() - 4 {
+        return Err(if len > frame.len().saturating_sub(4) {
             WireError::Truncated
         } else {
             WireError::TrailingBytes
@@ -72,7 +72,7 @@ pub fn decode_frame<M: Decode>(frame: &[u8]) -> Result<(NodeId, M), WireError> {
     if version != WIRE_VERSION {
         return Err(WireError::BadVersion(version));
     }
-    let from = NodeId(u32::from_le_bytes(r.take(4)?.try_into().expect("len")));
+    let from = NodeId(r.read_u32_le()?);
     let msg = M::decode(&mut r)?;
     r.finish()?;
     Ok((from, msg))
@@ -130,17 +130,17 @@ impl FrameAssembler {
     /// (an oversized length prefix).
     pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
         let avail = &self.buf[self.start..];
-        if avail.len() < 4 {
+        let Some(len_bytes) = avail.first_chunk::<4>() else {
             return Ok(None);
-        }
-        let len = u32::from_le_bytes(avail[..4].try_into().expect("len checked")) as usize;
+        };
+        let len = u32::from_le_bytes(*len_bytes) as usize;
         if len > MAX_FRAME_LEN {
             return Err(WireError::FrameTooLarge { len });
         }
-        if avail.len() < 4 + len {
+        let Some(frame) = avail.get(..4 + len) else {
             return Ok(None);
-        }
-        let frame = avail[..4 + len].to_vec();
+        };
+        let frame = frame.to_vec();
         self.start += 4 + len;
         Ok(Some(frame))
     }

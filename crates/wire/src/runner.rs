@@ -11,12 +11,14 @@
 //! The runner is single-threaded and cooperative — node state stays
 //! inspectable between pumps — while the transport underneath may be
 //! fully threaded (see [`TcpHub`](crate::TcpHub)).
+//!
+//! detlint::allow-file(DET-CLOCK, this module IS the real-time harness — wall time is its contract and never feeds back into simulator runs)
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 use std::time::Instant;
 
-use simnet::{Ctx, Effects, Metrics, NodeId, ProcessAny, Rng64, Time, TimerId};
+use simnet::{CounterId, Ctx, Effects, Metrics, NodeId, ProcessAny, Rng64, Time, TimerId};
 
 use crate::codec::{Decode, Encode};
 use crate::frame::{decode_frame, encode_frame};
@@ -31,6 +33,9 @@ struct WireSlot<M> {
     transport: Box<dyn Transport>,
     rng: Rng64,
     metrics: Metrics,
+    /// Transport failure counters, pre-registered at slot creation.
+    send_errors: CounterId,
+    decode_errors: CounterId,
     timer_seq: u64,
     seq: u64,
     timers: BinaryHeap<TimerEntry>,
@@ -102,12 +107,17 @@ impl<M: Encode + Decode + 'static> WireNet<M> {
     pub fn add_node<P: simnet::Process<M> + std::any::Any>(&mut self, proc: P) -> NodeId {
         let me = NodeId(self.slots.len() as u32);
         let transport = (self.endpoint_for)(me);
+        let mut metrics = Metrics::new();
+        let send_errors = metrics.register_counter("wire.send_errors");
+        let decode_errors = metrics.register_counter("wire.decode_errors");
         self.slots.push(WireSlot {
             me,
             proc: Box::new(proc),
             transport,
             rng: Rng64::new(self.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(me.0 as u64 + 1))),
-            metrics: Metrics::new(),
+            metrics,
+            send_errors,
+            decode_errors,
             timer_seq: 0,
             seq: 0,
             timers: BinaryHeap::new(),
@@ -193,7 +203,7 @@ impl<M: Encode + Decode + 'static> WireNet<M> {
                 .send(to, &encode_frame(slot.me, &msg))
                 .is_err()
             {
-                slot.metrics.incr("wire.send_errors");
+                slot.metrics.incr_id(slot.send_errors);
             }
         }
         for (id, delay, tag) in eff.timers {
@@ -221,7 +231,7 @@ impl<M: Encode + Decode + 'static> WireNet<M> {
                 }
                 let Ok((from, msg)) = decode_frame::<M>(&frame) else {
                     // A malformed frame must never take the node down.
-                    slot.metrics.incr("wire.decode_errors");
+                    slot.metrics.incr_id(slot.decode_errors);
                     continue;
                 };
                 let mut ctx = Ctx::detached(

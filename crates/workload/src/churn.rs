@@ -1,7 +1,7 @@
 //! Churn schedules: scripted and randomized joins, graceful leaves and
 //! crashes ("we may … provoke failures", RR-6497 §4).
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use chord::{Id, NodeRef};
@@ -40,7 +40,7 @@ pub struct ChurnSpec {
 
 struct ChurnInner {
     spec: ChurnSpec,
-    protected: HashSet<NodeId>,
+    protected: BTreeSet<NodeId>,
     cfg: LtrConfig,
     crashes: CounterId,
     leaves: CounterId,
