@@ -25,9 +25,11 @@ use ltr_bench::{merge_bench_section, ok, print_table};
 use workload::scenario::{named_scenarios, run_scenario, ScenarioOutcome};
 
 /// Fixed per-scenario seed: stable across runs and machines so the
-/// deterministic fields in the JSON are baseline-comparable.
+/// deterministic fields in the JSON are baseline-comparable. Kept
+/// aligned with `tests/tests/fault_matrix.rs` (`SEED_BASE`), which
+/// documents why the base sits at `0xFA_0200`.
 fn seed_for(index: usize) -> u64 {
-    0xFA_0000 + index as u64
+    0xFA_0200 + index as u64
 }
 
 fn render_faults_json(quick: bool, outcomes: &[ScenarioOutcome]) -> String {

@@ -31,6 +31,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use chord::ReplicationMode;
 use ltr_bench::settled_net_with;
 use p2p_ltr::{check_continuity, check_convergence, LtrConfig};
 use simnet::{Duration, NetConfig};
@@ -48,6 +49,19 @@ struct Scenario {
     drive_secs: u64,
     /// Per-link bandwidth in bytes/sec (None = unlimited, the default).
     bandwidth: Option<u64>,
+    /// Explicit per-row seed: the `*_fullpush` comparison rows reuse their
+    /// Merkle sibling's seed so both modes simulate the *same* workload
+    /// and the byte delta is attributable to the sync protocol alone.
+    seed: u64,
+    /// Replica-synchronization protocol under measurement.
+    mode: ReplicationMode,
+}
+
+fn mode_str(mode: ReplicationMode) -> &'static str {
+    match mode {
+        ReplicationMode::FullPush => "full_push",
+        ReplicationMode::MerkleDiff => "merkle_diff",
+    }
 }
 
 struct Outcome {
@@ -55,6 +69,7 @@ struct Outcome {
     peers: usize,
     replication: usize,
     workload: &'static str,
+    mode: &'static str,
     sim_secs: f64,
     wall_ms: f64,
     ops: u64,
@@ -71,16 +86,32 @@ struct Outcome {
 
 fn scenario_matrix(quick: bool) -> Vec<Scenario> {
     if quick {
-        return vec![Scenario {
-            name: "quick_ring8_n3_collab",
-            peers: 8,
-            replication: 3,
-            workload: "collab",
-            editors: 3,
-            docs: 4,
-            drive_secs: 8,
-            bandwidth: None,
-        }];
+        return vec![
+            Scenario {
+                name: "quick_ring8_n3_collab",
+                peers: 8,
+                replication: 3,
+                workload: "collab",
+                editors: 3,
+                docs: 4,
+                drive_secs: 8,
+                bandwidth: None,
+                seed: 0xBEAC_0000,
+                mode: ReplicationMode::MerkleDiff,
+            },
+            Scenario {
+                name: "quick_ring8_n3_collab_fullpush",
+                peers: 8,
+                replication: 3,
+                workload: "collab",
+                editors: 3,
+                docs: 4,
+                drive_secs: 8,
+                bandwidth: None,
+                seed: 0xBEAC_0000,
+                mode: ReplicationMode::FullPush,
+            },
+        ];
     }
     vec![
         Scenario {
@@ -92,6 +123,8 @@ fn scenario_matrix(quick: bool) -> Vec<Scenario> {
             docs: 8,
             drive_secs: 20,
             bandwidth: None,
+            seed: 0xBEAC_0000,
+            mode: ReplicationMode::MerkleDiff,
         },
         Scenario {
             name: "ring16_n3_collab",
@@ -102,6 +135,20 @@ fn scenario_matrix(quick: bool) -> Vec<Scenario> {
             docs: 8,
             drive_secs: 20,
             bandwidth: None,
+            seed: 0xBEAC_0001,
+            mode: ReplicationMode::MerkleDiff,
+        },
+        Scenario {
+            name: "ring16_n3_collab_fullpush",
+            peers: 16,
+            replication: 3,
+            workload: "collab",
+            editors: 4,
+            docs: 8,
+            drive_secs: 20,
+            bandwidth: None,
+            seed: 0xBEAC_0001,
+            mode: ReplicationMode::FullPush,
         },
         Scenario {
             name: "ring48_n3_collab",
@@ -112,6 +159,20 @@ fn scenario_matrix(quick: bool) -> Vec<Scenario> {
             docs: 16,
             drive_secs: 20,
             bandwidth: None,
+            seed: 0xBEAC_0002,
+            mode: ReplicationMode::MerkleDiff,
+        },
+        Scenario {
+            name: "ring48_n3_collab_fullpush",
+            peers: 48,
+            replication: 3,
+            workload: "collab",
+            editors: 8,
+            docs: 16,
+            drive_secs: 20,
+            bandwidth: None,
+            seed: 0xBEAC_0002,
+            mode: ReplicationMode::FullPush,
         },
         Scenario {
             name: "ring16_n3_syncheavy",
@@ -122,6 +183,8 @@ fn scenario_matrix(quick: bool) -> Vec<Scenario> {
             docs: 8,
             drive_secs: 20,
             bandwidth: None,
+            seed: 0xBEAC_0003,
+            mode: ReplicationMode::MerkleDiff,
         },
         // Bandwidth-constrained: 256 kB/s per link, so every message pays
         // its encoded size as serialization delay (a ~300-byte frame costs
@@ -135,13 +198,17 @@ fn scenario_matrix(quick: bool) -> Vec<Scenario> {
             docs: 8,
             drive_secs: 20,
             bandwidth: Some(256 * 1024),
+            seed: 0xBEAC_0004,
+            mode: ReplicationMode::MerkleDiff,
         },
     ]
 }
 
-fn run_scenario(sc: &Scenario, seed: u64) -> Outcome {
+fn run_scenario(sc: &Scenario) -> Outcome {
+    let seed = sc.seed;
     let mut cfg = LtrConfig::default();
     cfg.log.replication = sc.replication;
+    cfg.chord.replication_mode = sc.mode;
     if sc.workload == "syncheavy" {
         // Aggressive anti-entropy: every open replica probes its master 5×
         // per second, so the run is dominated by LastTs traffic + lookups.
@@ -195,6 +262,7 @@ fn run_scenario(sc: &Scenario, seed: u64) -> Outcome {
         peers: sc.peers,
         replication: sc.replication,
         workload: sc.workload,
+        mode: mode_str(sc.mode),
         sim_secs: net.now().since(t0).as_millis_f64() / 1e3,
         wall_ms,
         ops: m.counter("ltr.publish_ok"),
@@ -232,7 +300,8 @@ fn render_json(quick: bool, outcomes: &[Outcome]) -> String {
         let _ = write!(
             out,
             "    {{\"name\": \"{}\", \"peers\": {}, \"replication\": {}, \
-             \"workload\": \"{}\", \"sim_secs\": {:.3}, \"wall_ms\": {:.1}, \
+             \"workload\": \"{}\", \"mode\": \"{}\", \
+             \"sim_secs\": {:.3}, \"wall_ms\": {:.1}, \
              \"ops\": {}, \"ops_per_sec\": {:.1}, \
              \"msgs\": {}, \"msgs_per_sec\": {:.1}, \
              \"events\": {}, \"events_per_sec\": {:.1}, \
@@ -243,6 +312,7 @@ fn render_json(quick: bool, outcomes: &[Outcome]) -> String {
             o.peers,
             o.replication,
             o.workload,
+            o.mode,
             o.sim_secs,
             o.wall_ms,
             o.ops,
@@ -301,10 +371,10 @@ fn main() {
 
     let scenarios = scenario_matrix(quick);
     let mut outcomes = Vec::with_capacity(scenarios.len());
-    for (i, sc) in scenarios.iter().enumerate() {
-        let o = run_scenario(sc, 0xBEAC_0000 + i as u64);
+    for sc in &scenarios {
+        let o = run_scenario(sc);
         println!(
-            "{:<24} wall {:>8.1} ms | {:>7.0} events/s | {:>6.0} msgs/s | {:>5.0} ops/s | \
+            "{:<30} wall {:>8.1} ms | {:>7.0} events/s | {:>6.0} msgs/s | {:>5.0} ops/s | \
              stamp p50/p99 {:.1}/{:.1} ms | {:>6.2} MB wire | continuity={} converged={}",
             o.name,
             o.wall_ms,

@@ -28,6 +28,7 @@ pub mod docname;
 pub mod events;
 pub mod harness;
 pub mod id;
+pub mod merkle;
 pub mod msg;
 pub mod node;
 pub mod routing;
@@ -35,11 +36,12 @@ pub mod sha1;
 pub mod stabilize;
 pub mod storage;
 pub mod storage_proto;
+pub mod sync;
 
-pub use config::ChordConfig;
+pub use config::{ChordConfig, ReplicationMode};
 pub use docname::DocName;
 pub use events::{Action, ChordEvent, ChordTimer};
 pub use id::{Id, M};
 pub use msg::{ChordMsg, NodeRef, OpId, PutMode};
 pub use node::ChordNode;
-pub use storage::{Storage, StorageDelta};
+pub use storage::{Storage, StorageDelta, SyncView};

@@ -3,6 +3,7 @@
 use bytes::Bytes;
 
 use crate::id::Id;
+use crate::sha1::Digest;
 use simnet::NodeId;
 
 /// A node's full address: transport address plus ring position.
@@ -174,5 +175,51 @@ pub enum ChordMsg {
     LeaveToPred {
         /// The leaver's successor (predecessor's probable new successor).
         succ_of_leaver: NodeRef,
+    },
+    /// Anti-entropy phase 1 (owner → replica): the Merkle root of the
+    /// owner's primary range. The replica compares against its own replica
+    /// summary over the same range and either acks (in sync) or starts a
+    /// descent with [`ChordMsg::SyncDiff`].
+    SyncRoot {
+        /// Owner's `store_version` when the root was computed; echoed
+        /// through the whole exchange so stale rounds are discarded.
+        ver: u64,
+        /// Range start, exclusive (the owner's predecessor id).
+        from: Id,
+        /// Range end, inclusive (the owner's id).
+        to: Id,
+        /// Merkle root over the owner's primary items in `(from, to]`.
+        root: Digest,
+    },
+    /// Anti-entropy descent (replica → owner): the tree nodes whose
+    /// digests the replica wants expanded. Depth 0 prefix 0 is the root's
+    /// children; a leaf request returns per-key entry digests.
+    SyncDiff {
+        /// Echoed round version.
+        ver: u64,
+        /// `(depth, prefix)` tree coordinates to expand.
+        wants: Vec<(u8, u32)>,
+        /// Keys the replica proved missing or stale — the owner answers
+        /// with a `Replicate` carrying exactly these records.
+        need: Vec<Id>,
+    },
+    /// Anti-entropy expansion (owner → replica): children digests for the
+    /// requested tree nodes, or per-key entry digests for leaves.
+    SyncNodes {
+        /// Echoed round version.
+        ver: u64,
+        /// Expanded interior nodes: coordinates plus non-empty child
+        /// digests (child index, digest).
+        nodes: Vec<(u8, u32, Vec<(u8, Digest)>)>,
+        /// Expanded leaf buckets: bucket number plus per-key entry
+        /// digests, in key order. An empty list is meaningful — it tells
+        /// the replica to drop everything it holds in that bucket.
+        leaves: Vec<(u32, Vec<(Id, Digest)>)>,
+    },
+    /// Anti-entropy completion (replica → owner): the replica's summary
+    /// now matches `ver`'s root; the owner advances its version cursor.
+    SyncAck {
+        /// The round version being acknowledged.
+        ver: u64,
     },
 }

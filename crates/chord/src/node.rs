@@ -3,7 +3,7 @@
 //! [`crate::stabilize`], and the storage protocol in
 //! [`crate::storage_proto`].
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use bytes::Bytes;
 
@@ -83,6 +83,13 @@ pub struct ChordNode {
     /// In-flight re-home puts (orphaned primary → true owner): op → key.
     /// See the orphan sweep in `tick_replicate`.
     pub(crate) rehoming: BTreeMap<OpId, Id>,
+    /// Reverse index of `rehoming`'s values: the orphan sweep's
+    /// "already in flight?" test, O(log n) instead of a scan per orphan.
+    pub(crate) rehoming_keys: BTreeSet<Id>,
+    /// Merkle sync rounds we are driving as owner, per replica address.
+    pub(crate) sync_out: BTreeMap<NodeId, crate::sync::SyncOut>,
+    /// Merkle sync rounds we are serving as replica, per owner address.
+    pub(crate) sync_in: BTreeMap<NodeId, crate::sync::SyncIn>,
     pub(crate) acts: Vec<Action>,
     /// Cumulative hop count of completed lookups (for metrics).
     pub(crate) total_lookup_hops: u64,
@@ -109,6 +116,9 @@ impl ChordNode {
             pred_fails: 0,
             succ_fails: 0,
             rehoming: BTreeMap::new(),
+            rehoming_keys: BTreeSet::new(),
+            sync_out: BTreeMap::new(),
+            sync_in: BTreeMap::new(),
             acts: Vec::new(),
             total_lookup_hops: 0,
             completed_lookups: 0,
@@ -446,7 +456,7 @@ impl ChordNode {
                 value,
                 authoritative,
             } => self.on_get_reply(now, op, value, authoritative),
-            ChordMsg::Replicate { items } => self.on_replicate(now, items),
+            ChordMsg::Replicate { items } => self.on_replicate(now, from, items),
             ChordMsg::TransferKeys { items } => self.on_transfer_keys(now, items),
             ChordMsg::LeaveToSucc {
                 pred_of_leaver,
@@ -455,6 +465,17 @@ impl ChordNode {
             ChordMsg::LeaveToPred { succ_of_leaver } => {
                 self.on_leave_to_pred(now, from, succ_of_leaver)
             }
+            ChordMsg::SyncRoot {
+                ver,
+                from: range_from,
+                to,
+                root,
+            } => self.on_sync_root(from, ver, range_from, to, root),
+            ChordMsg::SyncDiff { ver, wants, need } => self.on_sync_diff(from, ver, wants, need),
+            ChordMsg::SyncNodes { ver, nodes, leaves } => {
+                self.on_sync_nodes(from, ver, nodes, leaves)
+            }
+            ChordMsg::SyncAck { ver } => self.on_sync_ack(from, ver),
         }
         self.drain()
     }

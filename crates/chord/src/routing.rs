@@ -338,6 +338,7 @@ impl ChordNode {
     pub(crate) fn finish_put(&mut self, op: OpId, ok: bool, conflict: Option<Bytes>) {
         self.ops.remove(&op);
         if let Some(key) = self.rehoming.remove(&op) {
+            self.rehoming_keys.remove(&key);
             // Responsibility may have returned to us while the re-home was
             // in flight (our predecessor died again): then the key is no
             // longer an orphan and must stay primary here.

@@ -179,9 +179,10 @@ impl ChordNode {
         self.arm_op_timeout(op);
     }
 
-    /// Periodic replica push: send our primary items to the first
-    /// `storage_replicas` successors, skipping those already current.
-    /// Also sweeps *orphaned* primaries back to their true owners.
+    /// Periodic replica synchronization tick. Sweeps *orphaned* primaries
+    /// back to their true owners, then runs the configured replication
+    /// protocol: legacy full push, or Merkle-diff anti-entropy
+    /// (see [`crate::sync`]).
     pub(crate) fn tick_replicate(&mut self, now: Time) {
         self.arm(
             self.cfg.replicate_every,
@@ -191,6 +192,19 @@ impl ChordNode {
             return;
         }
         self.rehome_orphans(now);
+        match self.cfg.replication_mode {
+            crate::config::ReplicationMode::FullPush => self.tick_replicate_full(),
+            crate::config::ReplicationMode::MerkleDiff => self.tick_replicate_merkle(),
+        }
+    }
+
+    /// Legacy full push: send our entire primary item set to the first
+    /// `storage_replicas` successors, skipping those already current.
+    /// Note the cursor is advanced *before* the send — a lost push is not
+    /// retried until the next `store_version` bump. Kept byte-for-byte so
+    /// the drift baseline can compare modes; the Merkle path advances the
+    /// cursor on ack instead.
+    fn tick_replicate_full(&mut self) {
         let version = self.store_version;
         let succs: Vec<NodeRef> = self
             .succs
@@ -235,7 +249,7 @@ impl ChordNode {
             .store
             .iter_primary()
             .filter(|(k, _)| !self.is_responsible(**k))
-            .filter(|(k, _)| !self.rehoming.values().any(|r| r == *k))
+            .filter(|(k, _)| !self.rehoming_keys.contains(*k))
             .map(|(k, v)| (*k, v.clone()))
             .take(MAX_REHOMES_PER_SWEEP)
             .collect();
@@ -247,13 +261,16 @@ impl ChordNode {
                 owner: None,
             });
             self.rehoming.insert(op, key);
+            self.rehoming_keys.insert(key);
             self.issue_lookup(now, op, key, 0);
             self.arm_op_timeout(op);
         }
     }
 
-    /// Receive a replica push from a predecessor-side owner.
-    pub(crate) fn on_replicate(&mut self, _now: Time, items: Vec<(Id, Bytes)>) {
+    /// Receive a replica push from a predecessor-side owner — the full
+    /// set in legacy mode, exactly the proven-missing records during a
+    /// Merkle sync round.
+    pub(crate) fn on_replicate(&mut self, _now: Time, from: NodeId, items: Vec<(Id, Bytes)>) {
         let mut touched_primary = false;
         for (k, v) in items {
             if self.is_responsible(k) {
@@ -269,6 +286,12 @@ impl ChordNode {
         }
         if touched_primary {
             self.store_version += 1;
+        }
+        // During a Merkle round the transfer is the last phase: check
+        // whether it brought us up to the session root and ack. (No
+        // session — e.g. legacy mode — makes this a no-op.)
+        if self.sync_in.contains_key(&from) {
+            self.advance_sync(from, false);
         }
     }
 

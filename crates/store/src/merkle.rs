@@ -10,109 +10,30 @@
 //! replayed bytes: any divergence inside the checkpointed horizon — a
 //! flipped bit that still passes CRC by chance, a substituted record, a
 //! reordered segment — moves the root.
+//!
+//! The generic tree hashing (leaf/combine/root with domain-separated
+//! prefixes) lives in [`chord::merkle`] so the anti-entropy replication
+//! digests (`chord::sync`) share the identical construction; this module
+//! re-exports it under the store's historical path.
 
-use chord::sha1::{sha1, Digest, Sha1};
-
-/// Domain-separation prefixes: a leaf can never be confused with an
-/// interior node (the classic second-preimage fix).
-const LEAF_PREFIX: u8 = 0x00;
-const NODE_PREFIX: u8 = 0x01;
-
-/// Hash a raw leaf digest into its tree-leaf form.
-pub fn leaf(digest: &Digest) -> Digest {
-    let mut h = Sha1::new();
-    h.update(&[LEAF_PREFIX]);
-    h.update(digest);
-    h.finalize()
-}
-
-fn combine(a: &Digest, b: &Digest) -> Digest {
-    let mut h = Sha1::new();
-    h.update(&[NODE_PREFIX]);
-    h.update(a);
-    h.update(b);
-    h.finalize()
-}
-
-/// Merkle root over `leaves` (already leaf-hashed). An empty tree has the
-/// fixed root `sha1("p2p-ltr/empty-merkle")`; an odd node is promoted
-/// unpaired to the next level (Bitcoin-style duplication would let two
-/// different logs share a root).
-pub fn root(leaves: &[Digest]) -> Digest {
-    if leaves.is_empty() {
-        return sha1(b"p2p-ltr/empty-merkle");
-    }
-    let mut level: Vec<Digest> = leaves.to_vec();
-    while level.len() > 1 {
-        let mut next = Vec::with_capacity(level.len().div_ceil(2));
-        for pair in level.chunks(2) {
-            match pair {
-                [a, b] => next.push(combine(a, b)),
-                [a] => next.push(*a),
-                _ => unreachable!("chunks(2)"),
-            }
-        }
-        level = next;
-    }
-    level[0]
-}
-
-/// Convenience: leaf-hash raw entry digests, then compute the root.
-pub fn root_of_entry_hashes(entry_hashes: &[Digest]) -> Digest {
-    let leaves: Vec<Digest> = entry_hashes.iter().map(leaf).collect();
-    root(&leaves)
-}
+pub use chord::merkle::{combine, leaf, root, root_of_entry_hashes};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn d(b: u8) -> Digest {
-        [b; 20]
-    }
+    use chord::sha1::{sha1, Digest};
 
     #[test]
-    fn empty_root_is_fixed() {
-        assert_eq!(root(&[]), root(&[]));
-        assert_ne!(root(&[]), root(&[leaf(&d(0))]));
-    }
-
-    #[test]
-    fn single_leaf_root_is_the_leaf() {
-        let l = leaf(&d(7));
+    fn reexport_matches_chord_merkle() {
+        // The store's checkpoint roots and chord's sync digests must use
+        // the *same* tree: a drift here would silently fork the two.
+        let hashes: Vec<Digest> = (0u8..5).map(|i| sha1(&[i])).collect();
+        assert_eq!(
+            root_of_entry_hashes(&hashes),
+            chord::merkle::root_of_entry_hashes(&hashes)
+        );
+        let l = leaf(&sha1(b"x"));
         assert_eq!(root(&[l]), l);
-    }
-
-    #[test]
-    fn order_matters() {
-        let a = leaf(&d(1));
-        let b = leaf(&d(2));
-        assert_ne!(root(&[a, b]), root(&[b, a]));
-    }
-
-    #[test]
-    fn any_leaf_change_moves_the_root() {
-        let leaves: Vec<Digest> = (0u8..7).map(|i| leaf(&d(i))).collect();
-        let base = root(&leaves);
-        for i in 0..leaves.len() {
-            let mut changed = leaves.clone();
-            changed[i] = leaf(&d(0xEE));
-            assert_ne!(root(&changed), base, "leaf {i}");
-        }
-        // Dropping the tail moves it too (length extension is visible).
-        assert_ne!(root(&leaves[..6]), base);
-    }
-
-    #[test]
-    fn leaf_and_node_domains_are_separated() {
-        // A two-leaf tree's root must differ from the leaf-hash of the
-        // concatenation — the prefixes keep the domains apart.
-        let a = d(3);
-        let b = d(4);
-        let two = root(&[leaf(&a), leaf(&b)]);
-        let mut cat = Vec::new();
-        cat.extend_from_slice(&a);
-        cat.extend_from_slice(&b);
-        assert_ne!(two, sha1(&cat));
+        assert_ne!(combine(&l, &l), l);
     }
 }

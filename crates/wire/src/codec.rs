@@ -435,6 +435,22 @@ impl<T: Decode> Decode for Vec<T> {
     }
 }
 
+impl<const N: usize> Encode for [u8; N] {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self);
+    }
+    fn encoded_len(&self) -> usize {
+        N
+    }
+}
+
+impl<const N: usize> Decode for [u8; N] {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let raw = r.take(N)?;
+        <[u8; N]>::try_from(raw).map_err(|_| WireError::Truncated)
+    }
+}
+
 impl<A: Encode, B: Encode> Encode for (A, B) {
     fn encode(&self, out: &mut Vec<u8>) {
         self.0.encode(out);
@@ -448,6 +464,23 @@ impl<A: Encode, B: Encode> Encode for (A, B) {
 impl<A: Decode, B: Decode> Decode for (A, B) {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<A: Encode, B: Encode, C: Encode> Encode for (A, B, C) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+        self.2.encode(out);
+    }
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len() + self.1.encoded_len() + self.2.encoded_len()
+    }
+}
+
+impl<A: Decode, B: Decode, C: Decode> Decode for (A, B, C) {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
     }
 }
 
@@ -478,6 +511,14 @@ mod tests {
         rt(vec![1u64, 2, 3]);
         rt(Vec::<u64>::new());
         rt((7u64, Bytes::from(vec![9])));
+        rt([0u8; 0]);
+        rt([7u8; 20]);
+        rt((1u8, 2u32, [3u8; 4]));
+    }
+
+    #[test]
+    fn truncated_fixed_array_is_an_error() {
+        assert_eq!(<[u8; 20]>::from_wire(&[0; 19]), Err(WireError::Truncated));
     }
 
     #[test]

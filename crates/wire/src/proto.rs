@@ -241,6 +241,10 @@ pub fn chord_class(msg: &ChordMsg) -> &'static str {
         ChordMsg::TransferKeys { .. } => "chord.transfer_keys",
         ChordMsg::LeaveToSucc { .. } => "chord.leave_to_succ",
         ChordMsg::LeaveToPred { .. } => "chord.leave_to_pred",
+        ChordMsg::SyncRoot { .. } => "chord.sync.root",
+        ChordMsg::SyncDiff { .. } => "chord.sync.diff",
+        ChordMsg::SyncNodes { .. } => "chord.sync.nodes",
+        ChordMsg::SyncAck { .. } => "chord.sync.ack",
     }
 }
 
@@ -347,6 +351,34 @@ impl Encode for ChordMsg {
                 out.push(14);
                 succ_of_leaver.encode(out);
             }
+            ChordMsg::SyncRoot {
+                ver,
+                from,
+                to,
+                root,
+            } => {
+                out.push(15);
+                ver.encode(out);
+                from.encode(out);
+                to.encode(out);
+                root.encode(out);
+            }
+            ChordMsg::SyncDiff { ver, wants, need } => {
+                out.push(16);
+                ver.encode(out);
+                wants.encode(out);
+                need.encode(out);
+            }
+            ChordMsg::SyncNodes { ver, nodes, leaves } => {
+                out.push(17);
+                ver.encode(out);
+                nodes.encode(out);
+                leaves.encode(out);
+            }
+            ChordMsg::SyncAck { ver } => {
+                out.push(18);
+                ver.encode(out);
+            }
         }
     }
 
@@ -403,6 +435,19 @@ impl Encode for ChordMsg {
                 items,
             } => pred_of_leaver.encoded_len() + items.encoded_len(),
             ChordMsg::LeaveToPred { succ_of_leaver } => succ_of_leaver.encoded_len(),
+            ChordMsg::SyncRoot {
+                ver,
+                from,
+                to,
+                root,
+            } => ver.encoded_len() + from.encoded_len() + to.encoded_len() + root.encoded_len(),
+            ChordMsg::SyncDiff { ver, wants, need } => {
+                ver.encoded_len() + wants.encoded_len() + need.encoded_len()
+            }
+            ChordMsg::SyncNodes { ver, nodes, leaves } => {
+                ver.encoded_len() + nodes.encoded_len() + leaves.encoded_len()
+            }
+            ChordMsg::SyncAck { ver } => ver.encoded_len(),
         }
     }
 }
@@ -473,6 +518,25 @@ impl Decode for ChordMsg {
             },
             14 => ChordMsg::LeaveToPred {
                 succ_of_leaver: NodeRef::decode(r)?,
+            },
+            15 => ChordMsg::SyncRoot {
+                ver: u64::decode(r)?,
+                from: Id::decode(r)?,
+                to: Id::decode(r)?,
+                root: <[u8; 20]>::decode(r)?,
+            },
+            16 => ChordMsg::SyncDiff {
+                ver: u64::decode(r)?,
+                wants: Vec::<(u8, u32)>::decode(r)?,
+                need: Vec::<Id>::decode(r)?,
+            },
+            17 => ChordMsg::SyncNodes {
+                ver: u64::decode(r)?,
+                nodes: Vec::<(u8, u32, Vec<(u8, [u8; 20])>)>::decode(r)?,
+                leaves: Vec::<(u32, Vec<(Id, [u8; 20])>)>::decode(r)?,
+            },
+            18 => ChordMsg::SyncAck {
+                ver: u64::decode(r)?,
             },
             tag => {
                 return Err(WireError::BadTag {
@@ -756,6 +820,28 @@ mod tests {
         rt_chord(ChordMsg::LeaveToPred {
             succ_of_leaver: nref(8, 88),
         });
+        rt_chord(ChordMsg::SyncRoot {
+            ver: 42,
+            from: Id(u64::MAX - 1),
+            to: Id(3),
+            root: [0xAB; 20],
+        });
+        rt_chord(ChordMsg::SyncDiff {
+            ver: 42,
+            wants: vec![(0, 0), (1, 7), (2, 255)],
+            need: vec![Id(9), Id(u64::MAX)],
+        });
+        rt_chord(ChordMsg::SyncDiff {
+            ver: 0,
+            wants: vec![],
+            need: vec![],
+        });
+        rt_chord(ChordMsg::SyncNodes {
+            ver: 1,
+            nodes: vec![(0, 0, vec![(3, [1; 20]), (15, [2; 20])]), (1, 3, vec![])],
+            leaves: vec![(48, vec![(Id(7), [9; 20])]), (49, vec![])],
+        });
+        rt_chord(ChordMsg::SyncAck { ver: u64::MAX });
     }
 
     #[test]
@@ -854,11 +940,33 @@ mod tests {
             .to_wire(),
             vec![1 /*tag*/, 1 /*op*/, 0x80, 0x01 /*ts=128*/]
         );
+        // The steady-state anti-entropy round: one root + one ack.
+        let mut expect = vec![
+            15, // tag
+            42, // ver varint
+            2, 0, 0, 0, 0, 0, 0, 0, // from LE
+            9, 0, 0, 0, 0, 0, 0, 0, // to LE
+        ];
+        expect.extend_from_slice(&[0xCD; 20]); // root digest, raw
+        assert_eq!(
+            ChordMsg::SyncRoot {
+                ver: 42,
+                from: Id(2),
+                to: Id(9),
+                root: [0xCD; 20],
+            }
+            .to_wire(),
+            expect
+        );
+        assert_eq!(
+            ChordMsg::SyncAck { ver: 42 }.to_wire(),
+            vec![18 /*tag*/, 42 /*ver*/]
+        );
     }
 
     #[test]
     fn unknown_tags_are_errors_not_panics() {
-        for tag in 15u8..=255 {
+        for tag in 19u8..=255 {
             assert!(matches!(
                 ChordMsg::from_wire(&[tag]),
                 Err(WireError::BadTag { .. })

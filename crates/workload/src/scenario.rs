@@ -228,11 +228,24 @@ struct PendingRecovery {
 
 /// Execute one scenario deterministically. Same `sc` + same `seed` ⇒
 /// bit-identical run (the byte-identity property test pins this).
+/// Runs the default replication mode (Merkle-diff anti-entropy).
 pub fn run_scenario(sc: &Scenario, seed: u64) -> ScenarioOutcome {
+    run_scenario_with_mode(sc, seed, chord::ReplicationMode::MerkleDiff)
+}
+
+/// [`run_scenario`] with an explicit chord replication mode, so the fault
+/// matrix and benches can exercise both the Merkle-diff protocol and the
+/// legacy full push under identical fault schedules.
+pub fn run_scenario_with_mode(
+    sc: &Scenario,
+    seed: u64,
+    mode: chord::ReplicationMode,
+) -> ScenarioOutcome {
     // detlint::allow(DET-CLOCK, wall-clock duration is reported alongside the outcome; it never feeds the simulation)
     let wall = Instant::now();
     let mut cfg = LtrConfig::default();
     cfg.log.replication = sc.replication;
+    cfg.chord.replication_mode = mode;
 
     // Every peer journals: crashes scripted with `recover_after_secs`
     // restart from the journal (crash-with-disk), the rest rely on

@@ -31,7 +31,7 @@ NONDETERMINISTIC = {
 }
 
 SCENARIO_REQUIRED = [
-    "name", "peers", "replication", "workload", "sim_secs", "wall_ms",
+    "name", "peers", "replication", "workload", "mode", "sim_secs", "wall_ms",
     "ops", "ops_per_sec", "msgs", "msgs_per_sec",
     "events", "events_per_sec", "stamp_p50_ms", "stamp_p99_ms",
     "wire_bytes", "wire_bytes_per_class",
@@ -62,6 +62,41 @@ def fail(msg):
     sys.exit(1)
 
 
+def replication_bytes(sc):
+    """Wire bytes spent synchronizing replicas: the record push itself
+    plus the Merkle descent chatter (root/diff/nodes/ack)."""
+    return sum(v for k, v in sc["wire_bytes_per_class"].items()
+               if k == "chord.replicate" or k.startswith("chord.sync."))
+
+
+def check_reduction(scenarios):
+    """Every ``*_fullpush`` row is a legacy-mode rerun of its Merkle
+    sibling (same seed, same workload). Gate the tentpole claim: the
+    Merkle row must spend at most 50% of the full-push row's
+    replication-class bytes."""
+    by_name = {sc["name"]: sc for sc in scenarios}
+    for name, full in sorted(by_name.items()):
+        if not name.endswith("_fullpush"):
+            continue
+        if full.get("mode") != "full_push":
+            fail(f"{name}: expected mode full_push, got {full.get('mode')}")
+        merkle = by_name.get(name[:-len("_fullpush")])
+        if merkle is None:
+            fail(f"{name}: no Merkle sibling scenario to compare against")
+        if merkle.get("mode") != "merkle_diff":
+            fail(f"{merkle['name']}: expected mode merkle_diff, "
+                 f"got {merkle.get('mode')}")
+        fb, mb = replication_bytes(full), replication_bytes(merkle)
+        if fb <= 0:
+            fail(f"{name}: full-push run metered no replication bytes")
+        if mb > fb * 0.5:
+            fail(f"{merkle['name']}: replication bytes {mb} exceed 50% of "
+                 f"the full-push baseline {fb} "
+                 f"(ratio {mb / fb:.2f})")
+        print(f"reduction OK: {merkle['name']} replication bytes "
+              f"{mb} vs full-push {fb} ({1 - mb / fb:.0%} cut)")
+
+
 def check_schema(data):
     if data.get("schema") != "p2p-ltr/bench-hotpath/v1":
         fail(f"unexpected schema tag {data.get('schema')}")
@@ -82,6 +117,7 @@ def check_schema(data):
         fail("missing totals")
     if data["totals"]["wire_bytes"] <= 0:
         fail("no wire bytes in totals")
+    check_reduction(data["scenarios"])
 
     rec = data.get("recovery")
     if rec is None:
