@@ -121,10 +121,12 @@ fn bench_codecs(c: &mut Criterion) {
 }
 
 fn bench_master_stamping(c: &mut Criterion) {
-    // The master's grant hot path: validate → stamp → derive the n log
-    // locations (the puts the embedding layer would issue) → publish ack.
-    // 100 sequential stamps on one key, replication n=3.
-    use kts::{KtsConfig, KtsMaster, MasterAction, PublishOutcome, ReqId};
+    // The master's grant hot path: validate → fence the next slot →
+    // stamp → derive the n log locations (the puts the embedding layer
+    // would issue) → publish ack. Fencing is the default mode and each
+    // slot's fence is consumed by its publish, so every stamp pays one
+    // fence round. 100 sequential stamps on one key, replication n=3.
+    use kts::{FenceOutcome, KtsConfig, KtsMaster, MasterAction, PublishOutcome, ReqId};
     use simnet::NodeId;
     let cfg = KtsConfig {
         probe_unknown_keys: false,
@@ -134,20 +136,26 @@ fn bench_master_stamping(c: &mut Criterion) {
     let user = chord::NodeRef::new(NodeId(1), Id(1000));
     let patch = Bytes::from_static(b"a smallish encoded patch body");
     let doc = p2plog::DocName::new("wiki/Main");
+    let publish_req = |acts: &[MasterAction]| {
+        acts.iter().find_map(|a| match a {
+            MasterAction::BeginPublish { token, ts, .. } => Some((*token, *ts)),
+            _ => None,
+        })
+    };
     c.bench_function("master_stamp_loop_100_n3", |b| {
         b.iter_batched(
             || KtsMaster::new(cfg.clone()),
             |mut m| {
                 let key = Id(0x42);
                 for i in 0..100u64 {
-                    let acts = m.on_validate(key, &doc, ReqId(i), i, patch.clone(), user, true);
-                    let (token, ts) = acts
-                        .iter()
-                        .find_map(|a| match a {
-                            MasterAction::BeginPublish { token, ts, .. } => Some((*token, *ts)),
-                            _ => None,
-                        })
-                        .expect("grant must publish");
+                    let mut acts = m.on_validate(key, &doc, ReqId(i), i, patch.clone(), user, true);
+                    if let Some(ft) = acts.iter().find_map(|a| match a {
+                        MasterAction::BeginFence { token, .. } => Some(*token),
+                        _ => None,
+                    }) {
+                        acts = m.fence_done(ft, FenceOutcome::Acked { occupied: false });
+                    }
+                    let (token, ts) = publish_req(&acts).expect("fenced grant must publish");
                     for loc in p2plog::log_locations_iter(3, "wiki/Main", ts) {
                         black_box(loc);
                     }

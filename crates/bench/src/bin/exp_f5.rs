@@ -53,7 +53,7 @@ fn main() {
     let mut last = 0u64;
     let mut continuous = true;
     for ev in &node.events {
-        if let LtrEventKind::Integrated { doc, ts, own } = &ev.kind {
+        if let LtrEventKind::Integrated { doc, ts, own, .. } = &ev.kind {
             if doc == DOC {
                 continuous &= *ts == last + 1;
                 last = *ts;

@@ -4,8 +4,9 @@
 //! partitions racing a master handoff, crash-with-disk storms, churn
 //! under load, duplicate-heavy and lossy links, asymmetric partitions,
 //! laggy masters) deterministically under fixed seeds, and requires all
-//! three correctness oracles (timestamp continuity, per-replica total
-//! order, replica convergence) to pass in **every** scenario — the
+//! five correctness oracles (timestamp continuity, per-replica total
+//! order, replica convergence, equivocation freedom, epoch
+//! monotonicity) to pass in **every** scenario — the
 //! paper's guarantees only matter under faults, so this is the harness
 //! CI gates on (`fault-matrix` job).
 //!
@@ -47,6 +48,7 @@ fn render_faults_json(quick: bool, outcomes: &[ScenarioOutcome]) -> String {
              \"faults_dropped\": {}, \"faults_duplicated\": {}, \
              \"faults_reordered\": {}, \"faults_cut\": {}, \
              \"continuity\": {}, \"total_order\": {}, \"converged\": {}, \
+             \"equivocation_free\": {}, \"epoch_monotonic\": {}, \
              \"pass\": {}}}{}",
             o.name,
             o.peers,
@@ -65,6 +67,8 @@ fn render_faults_json(quick: bool, outcomes: &[ScenarioOutcome]) -> String {
             o.continuity,
             o.total_order,
             o.converged,
+            o.equivocation_free,
+            o.epoch_monotonic,
             o.ok(),
             comma,
         );
@@ -145,7 +149,7 @@ fn main() {
         "fault matrix: invariants under the adversarial envelope",
         &[
             "scenario", "pass", "grants", "edits", "crashes", "restarts", "dropped", "dup",
-            "reord", "cut", "cont", "order", "conv",
+            "reord", "cut", "cont", "order", "conv", "equiv", "epoch",
         ],
         &outcomes
             .iter()
@@ -164,6 +168,8 @@ fn main() {
                     ok(o.continuity),
                     ok(o.total_order),
                     ok(o.converged),
+                    ok(o.equivocation_free),
+                    ok(o.epoch_monotonic),
                 ]
             })
             .collect::<Vec<_>>(),

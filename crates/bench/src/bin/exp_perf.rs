@@ -22,6 +22,12 @@
 //! correctness oracles (`continuity`, `converged`) — a perf number from a
 //! broken run is worthless.
 //!
+//! The `*_fullpush` rows run the **full legacy configuration** — full-push
+//! replica sync *and* grant fencing off — so their deterministic fields
+//! are directly comparable across the epoch-fencing change: the committed
+//! baseline rows for those scenarios must not move unless the legacy
+//! protocol itself does.
+//!
 //! Every scenario runs with wire accounting on (purely observational);
 //! the `*_bw*` scenario additionally sets `NetConfig::bandwidth`, so the
 //! simulator charges per-message serialization delay from the actual
@@ -55,6 +61,11 @@ struct Scenario {
     seed: u64,
     /// Replica-synchronization protocol under measurement.
     mode: ReplicationMode,
+    /// Grant fencing (master epochs). The `*_fullpush` rows run the full
+    /// legacy configuration — fencing off as well as full-push sync — so
+    /// their deterministic fields stay byte-identical to the pre-epoch
+    /// baseline and any drift there means the legacy path itself moved.
+    fencing: bool,
 }
 
 fn mode_str(mode: ReplicationMode) -> &'static str {
@@ -98,6 +109,7 @@ fn scenario_matrix(quick: bool) -> Vec<Scenario> {
                 bandwidth: None,
                 seed: 0xBEAC_0000,
                 mode: ReplicationMode::MerkleDiff,
+                fencing: true,
             },
             Scenario {
                 name: "quick_ring8_n3_collab_fullpush",
@@ -110,6 +122,7 @@ fn scenario_matrix(quick: bool) -> Vec<Scenario> {
                 bandwidth: None,
                 seed: 0xBEAC_0000,
                 mode: ReplicationMode::FullPush,
+                fencing: false,
             },
         ];
     }
@@ -125,6 +138,7 @@ fn scenario_matrix(quick: bool) -> Vec<Scenario> {
             bandwidth: None,
             seed: 0xBEAC_0000,
             mode: ReplicationMode::MerkleDiff,
+            fencing: true,
         },
         Scenario {
             name: "ring16_n3_collab",
@@ -137,6 +151,7 @@ fn scenario_matrix(quick: bool) -> Vec<Scenario> {
             bandwidth: None,
             seed: 0xBEAC_0001,
             mode: ReplicationMode::MerkleDiff,
+            fencing: true,
         },
         Scenario {
             name: "ring16_n3_collab_fullpush",
@@ -149,6 +164,7 @@ fn scenario_matrix(quick: bool) -> Vec<Scenario> {
             bandwidth: None,
             seed: 0xBEAC_0001,
             mode: ReplicationMode::FullPush,
+            fencing: false,
         },
         Scenario {
             name: "ring48_n3_collab",
@@ -161,6 +177,7 @@ fn scenario_matrix(quick: bool) -> Vec<Scenario> {
             bandwidth: None,
             seed: 0xBEAC_0002,
             mode: ReplicationMode::MerkleDiff,
+            fencing: true,
         },
         Scenario {
             name: "ring48_n3_collab_fullpush",
@@ -173,6 +190,7 @@ fn scenario_matrix(quick: bool) -> Vec<Scenario> {
             bandwidth: None,
             seed: 0xBEAC_0002,
             mode: ReplicationMode::FullPush,
+            fencing: false,
         },
         Scenario {
             name: "ring16_n3_syncheavy",
@@ -185,6 +203,7 @@ fn scenario_matrix(quick: bool) -> Vec<Scenario> {
             bandwidth: None,
             seed: 0xBEAC_0003,
             mode: ReplicationMode::MerkleDiff,
+            fencing: true,
         },
         // Bandwidth-constrained: 256 kB/s per link, so every message pays
         // its encoded size as serialization delay (a ~300-byte frame costs
@@ -200,6 +219,7 @@ fn scenario_matrix(quick: bool) -> Vec<Scenario> {
             bandwidth: Some(256 * 1024),
             seed: 0xBEAC_0004,
             mode: ReplicationMode::MerkleDiff,
+            fencing: true,
         },
     ]
 }
@@ -209,6 +229,7 @@ fn run_scenario(sc: &Scenario) -> Outcome {
     let mut cfg = LtrConfig::default();
     cfg.log.replication = sc.replication;
     cfg.chord.replication_mode = sc.mode;
+    cfg.kts.fencing = sc.fencing;
     if sc.workload == "syncheavy" {
         // Aggressive anti-entropy: every open replica probes its master 5×
         // per second, so the run is dominated by LastTs traffic + lookups.

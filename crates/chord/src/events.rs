@@ -87,6 +87,18 @@ pub enum ChordEvent {
         /// authoritative miss).
         ok: bool,
     },
+    /// A [`crate::ChordNode::fence`] completed.
+    FenceDone {
+        /// The operation handle.
+        op: OpId,
+        /// True iff the floor is in force at the key's owner.
+        ok: bool,
+        /// The floor in force at the owner (the rival's, when `!ok`);
+        /// 0 when the operation exhausted its retries unanswered.
+        current: u64,
+        /// True when a primary record already occupies the fenced key.
+        occupied: bool,
+    },
     /// The predecessor pointer changed (join, leave, or failure detection).
     /// The upper layers use this to hand off per-key application state
     /// (the paper's "transfers its keys and timestamps" step).

@@ -44,4 +44,4 @@ pub use events::{Action, ChordEvent, ChordTimer};
 pub use id::{Id, M};
 pub use msg::{ChordMsg, NodeRef, OpId, PutMode};
 pub use node::ChordNode;
-pub use storage::{Storage, StorageDelta, SyncView};
+pub use storage::{value_rank, Storage, StorageDelta, SyncView, RANK_MAGIC};

@@ -52,6 +52,12 @@ pub enum PutMode {
     /// uses this so the log itself arbitrates duelling masters (a hardening
     /// extension documented in DESIGN.md §6).
     FirstWriter,
+    /// Epoch-ranked arbitration: the value's embedded rank (see
+    /// `storage::value_rank`) must clear the key's fence floor; a higher
+    /// rank overwrites a superseded record, equal ranks keep the first
+    /// writer. Fenced-mode publishes use this so a stale master's record
+    /// can never land at a slot the new epoch has fenced.
+    Ranked,
 }
 
 /// The Chord protocol messages.
@@ -221,5 +227,31 @@ pub enum ChordMsg {
     SyncAck {
         /// The round version being acknowledged.
         ver: u64,
+    },
+    /// Raise the fence floor on `key` at its owner: after the ack, no
+    /// record ranked below `floor` can land there. Sent by a fencing
+    /// master to every log location of the slot it is about to serve.
+    Fence {
+        /// Operation handle.
+        op: OpId,
+        /// Storage key (a log location of the fenced slot).
+        key: Id,
+        /// Minimum rank (master epoch) a record must carry to land.
+        floor: u64,
+        /// The fencing master's identity bits (ring id), so a master's
+        /// own retry is distinguishable from a rival at the same floor.
+        origin: NodeRef,
+    },
+    /// Acknowledge a [`ChordMsg::Fence`].
+    FenceAck {
+        /// Echoed operation handle.
+        op: OpId,
+        /// True iff the floor is now in force at this owner.
+        ok: bool,
+        /// The floor currently in force (the rival's, when `!ok`).
+        current: u64,
+        /// True when a primary record already occupies the fenced key —
+        /// the fenced slot was already published and must be re-probed.
+        occupied: bool,
     },
 }

@@ -37,6 +37,11 @@ pub(crate) enum OpKind {
         key: Id,
         owner: Option<NodeRef>,
     },
+    Fence {
+        key: Id,
+        floor: u64,
+        owner: Option<NodeRef>,
+    },
     StabilizeGetPred {
         asked: NodeRef,
     },
@@ -398,6 +403,20 @@ impl ChordNode {
         (op, self.drain())
     }
 
+    /// Raise the fence floor for `key` at its owner (see
+    /// [`crate::Storage::raise_fence`]). Completion via
+    /// [`ChordEvent::FenceDone`].
+    pub fn fence(&mut self, now: Time, key: Id, floor: u64) -> (OpId, Vec<Action>) {
+        let op = self.new_op(OpKind::Fence {
+            key,
+            floor,
+            owner: None,
+        });
+        self.issue_lookup(now, op, key, 0);
+        self.arm_op_timeout(op);
+        (op, self.drain())
+    }
+
     // ----- dispatch -------------------------------------------------------
 
     /// Feed an incoming message; returns the actions to perform.
@@ -476,6 +495,18 @@ impl ChordNode {
                 self.on_sync_nodes(from, ver, nodes, leaves)
             }
             ChordMsg::SyncAck { ver } => self.on_sync_ack(from, ver),
+            ChordMsg::Fence {
+                op,
+                key,
+                floor,
+                origin,
+            } => self.on_fence(now, op, key, floor, origin),
+            ChordMsg::FenceAck {
+                op,
+                ok,
+                current,
+                occupied,
+            } => self.on_fence_ack(now, op, ok, current, occupied),
         }
         self.drain()
     }

@@ -150,6 +150,19 @@ impl ChordNode {
                 self.total_lookup_hops += hops as u64;
                 self.completed_lookups += 1;
                 if owner.addr == self.me.addr {
+                    if let Some(k) = self.rehoming.remove(&op) {
+                        // An orphan re-home resolved back to us: either
+                        // responsibility genuinely returned, or the routing
+                        // view and the predecessor-range test disagree
+                        // mid-heal. Both ways the record must stay primary
+                        // here — self-applying and then demoting (the normal
+                        // re-home completion) would leave it with no primary
+                        // anywhere in the ring. A later sweep retries once
+                        // the views settle.
+                        self.rehoming_keys.remove(&k);
+                        self.ops.remove(&op);
+                        return;
+                    }
                     // We are the owner: apply locally, ack synchronously.
                     let (ok, existing) = self.apply_put_local(key, value, mode);
                     self.finish_put(op, ok, existing);
@@ -198,6 +211,37 @@ impl ChordNode {
                         ChordMsg::Get {
                             op,
                             key,
+                            origin: self.me,
+                        },
+                    );
+                    self.arm_op_timeout(op);
+                }
+            }
+            OpKind::Fence { key, floor, .. } => {
+                self.total_lookup_hops += hops as u64;
+                self.completed_lookups += 1;
+                if owner.addr == self.me.addr {
+                    let origin = self.me.id.0;
+                    let (ok, current) = match self.store.raise_fence(key, floor, origin) {
+                        Ok(()) => (true, floor),
+                        Err(cur) => (false, cur),
+                    };
+                    let occupied = self.store.get_primary(key).is_some();
+                    self.finish_fence(op, ok, current, occupied);
+                } else {
+                    if let Some(s) = self.ops.get_mut(&op) {
+                        s.kind = OpKind::Fence {
+                            key,
+                            floor,
+                            owner: Some(owner),
+                        };
+                    }
+                    self.send(
+                        owner.addr,
+                        ChordMsg::Fence {
+                            op,
+                            key,
+                            floor,
                             origin: self.me,
                         },
                     );
@@ -291,6 +335,24 @@ impl ChordNode {
                 } else {
                     if let Some(s) = self.ops.get_mut(&op) {
                         s.kind = OpKind::Get { key, owner: None };
+                    }
+                    self.issue_lookup(now, op, key, attempts);
+                    self.arm_op_timeout(op);
+                }
+            }
+            OpKind::Fence { key, floor, owner } => {
+                if let Some(o) = owner {
+                    self.mark_suspect(o.addr, now);
+                }
+                if attempts >= max {
+                    self.finish_fence(op, false, 0, false);
+                } else {
+                    if let Some(s) = self.ops.get_mut(&op) {
+                        s.kind = OpKind::Fence {
+                            key,
+                            floor,
+                            owner: None,
+                        };
                     }
                     self.issue_lookup(now, op, key, attempts);
                     self.arm_op_timeout(op);
@@ -398,8 +460,36 @@ impl ChordNode {
                     self.arm_op_timeout(op);
                 }
             }
+            OpKind::Fence { key, floor, .. } => {
+                if attempts >= max {
+                    self.finish_fence(op, false, 0, false);
+                } else {
+                    if let Some(s) = self.ops.get_mut(&op) {
+                        s.kind = OpKind::Fence {
+                            key,
+                            floor,
+                            owner: None,
+                        };
+                    }
+                    self.issue_lookup(now, op, key, attempts);
+                    self.arm_op_timeout(op);
+                }
+            }
             _ => {}
         }
+    }
+
+    /// Terminal point of every fence op: report the outcome. `current` is
+    /// 0 when the op died unanswered (vs. a definitive rejection, which
+    /// always carries the winning floor ≥ 1).
+    pub(crate) fn finish_fence(&mut self, op: OpId, ok: bool, current: u64, occupied: bool) {
+        self.ops.remove(&op);
+        self.emit(ChordEvent::FenceDone {
+            op,
+            ok,
+            current,
+            occupied,
+        });
     }
 
     pub(crate) fn apply_put_local(
@@ -421,6 +511,16 @@ impl ChordNode {
                     (true, None)
                 }
                 Err(existing) => (false, Some(existing)),
+            },
+            PutMode::Ranked => match self.store.put_primary_ranked(key, value.clone()) {
+                Ok(()) => {
+                    self.eager_replicate_item(key, value);
+                    (true, None)
+                }
+                // A fenced-but-empty slot has no surviving record to show;
+                // report an empty conflict value so the origin still sees
+                // a definitive rejection (not a retryable wrong-owner nack).
+                Err(existing) => (false, Some(existing.unwrap_or_default())),
             },
         }
     }

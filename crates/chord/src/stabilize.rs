@@ -254,10 +254,18 @@ impl ChordNode {
             .take(MAX_REHOMES_PER_SWEEP)
             .collect();
         for (key, value) in orphans {
+            // Epoch-stamped records re-home with ranked arbitration so a
+            // superseded copy can never displace (or spuriously conflict
+            // with) a higher-ranked record at the true owner.
+            let mode = if crate::storage::value_rank(&value) > 0 {
+                crate::msg::PutMode::Ranked
+            } else {
+                crate::msg::PutMode::FirstWriter
+            };
             let op = self.new_op(OpKind::Put {
                 key,
                 value,
-                mode: crate::msg::PutMode::FirstWriter,
+                mode,
                 owner: None,
             });
             self.rehoming.insert(op, key);

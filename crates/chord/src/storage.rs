@@ -43,6 +43,32 @@ pub enum StorageDelta {
         /// The key.
         key: Id,
     },
+    /// A fence floor was raised on a key (see [`Storage::raise_fence`]).
+    SetFence {
+        /// The key.
+        key: Id,
+        /// The new floor: the minimum rank a record must carry to land.
+        floor: u64,
+        /// The fencing master's identity (its ring id bits).
+        origin: u64,
+    },
+}
+
+/// Magic prefix marking a *ranked* stored value: epoch-stamped log
+/// records start with this tag followed by the rank (the master epoch)
+/// as a little-endian u64. Legacy values never start with it — a legacy
+/// log record opens with its doc-name length, and a name of ~827 MB
+/// (the magic read as a length) fails decoding long before storage.
+pub const RANK_MAGIC: [u8; 4] = *b"LRE1";
+
+/// The arbitration rank of a stored value: the embedded master epoch of
+/// a ranked record, 0 for every legacy (unranked) value.
+pub fn value_rank(v: &[u8]) -> u64 {
+    if v.len() >= 12 && v[..4] == RANK_MAGIC {
+        u64::from_le_bytes(v[4..12].try_into().expect("4..12 is 8 bytes"))
+    } else {
+        0
+    }
 }
 
 /// Which key population a Merkle sync digest summarizes.
@@ -85,6 +111,11 @@ impl std::fmt::Debug for BucketCache {
 pub struct Storage {
     primary: BTreeMap<Id, Bytes>,
     replica: BTreeMap<Id, Bytes>,
+    /// Per-key fence floors: `key → (floor, origin)`. A fenced key only
+    /// accepts ranked records of rank ≥ floor. Floors are local write
+    /// barriers, not data: they are journaled for crash recovery but
+    /// never Merkle-synced or transferred between nodes.
+    fences: BTreeMap<Id, (u64, u64)>,
     /// Record mutations as [`StorageDelta`]s for the embedding layer.
     journaling: bool,
     deltas: Vec<StorageDelta>,
@@ -187,8 +218,83 @@ impl Storage {
         }
     }
 
-    /// Store a replica copy.
+    /// Raise the fence floor for `key` to `floor` on behalf of `origin`.
+    /// Strict: succeeds only when the floor strictly increases, or when
+    /// the *same* origin re-asserts the floor it already holds (its own
+    /// retry after a lost ack). A different origin at the same floor is
+    /// rejected — two masters fencing the same epoch cannot both hold
+    /// the fence. `Err` carries the current (winning) floor.
+    pub fn raise_fence(&mut self, key: Id, floor: u64, origin: u64) -> Result<(), u64> {
+        match self.fences.get(&key) {
+            Some(&(cur, cur_origin)) if floor < cur || (floor == cur && origin != cur_origin) => {
+                Err(cur)
+            }
+            _ => {
+                self.journal(|| StorageDelta::SetFence { key, floor, origin });
+                self.fences.insert(key, (floor, origin));
+                Ok(())
+            }
+        }
+    }
+
+    /// The fence floor currently in force for `key` (0 when unfenced).
+    pub fn fence_floor(&self, key: Id) -> u64 {
+        self.fences.get(&key).map(|&(f, _)| f).unwrap_or(0)
+    }
+
+    /// Re-install a fence floor from a recovery replay (max-merge; not
+    /// journaled — the entry that seeded it is already durable).
+    pub fn restore_fence(&mut self, key: Id, floor: u64, origin: u64) {
+        let e = self.fences.entry(key).or_insert((floor, origin));
+        if floor > e.0 {
+            *e = (floor, origin);
+        }
+    }
+
+    /// Store a ranked record: the value's embedded rank (master epoch)
+    /// arbitrates against both the key's fence floor and any record
+    /// already present. Equal bytes are idempotent; a strictly higher
+    /// rank overwrites a superseded record; anything else is rejected,
+    /// returning the surviving record (`None` when the slot is fenced
+    /// but still empty).
+    pub fn put_primary_ranked(&mut self, key: Id, value: Bytes) -> Result<(), Option<Bytes>> {
+        let rank = value_rank(&value);
+        if let Some(existing) = self.primary.get(&key) {
+            if *existing == value {
+                return Ok(());
+            }
+            // Equal ranks keep the incumbent: first-writer-wins within
+            // an epoch, exactly the legacy arbitration.
+            if rank <= value_rank(existing) {
+                return Err(Some(existing.clone()));
+            }
+        }
+        if rank < self.fence_floor(key) {
+            return Err(self.primary.get(&key).cloned());
+        }
+        self.journal(|| StorageDelta::PutPrimary {
+            key,
+            value: value.clone(),
+        });
+        self.touch_primary(key);
+        self.primary.insert(key, value);
+        Ok(())
+    }
+
+    /// Store a replica copy. Ranked records arbitrate (higher rank wins;
+    /// equal ranks converge on the byte-wise greater record so every
+    /// replica settles on the same survivor without coordination);
+    /// unranked values keep the legacy unconditional overwrite.
     pub fn put_replica(&mut self, key: Id, value: Bytes) {
+        if let Some(existing) = self.replica.get(&key) {
+            let (new_r, cur_r) = (value_rank(&value), value_rank(existing));
+            if (new_r > 0 || cur_r > 0)
+                && *existing != value
+                && (cur_r > new_r || (cur_r == new_r && **existing > *value))
+            {
+                return;
+            }
+        }
         self.journal(|| StorageDelta::PutReplica {
             key,
             value: value.clone(),
@@ -246,14 +352,25 @@ impl Storage {
         for k in keys {
             let v = self.replica.remove(&k).expect("key listed but missing");
             self.journal(|| StorageDelta::DelReplica { key: k });
-            if !self.primary.contains_key(&k) {
+            // A ranked replica that outranks the resident primary record
+            // replaces it (the resident lost the epoch arbitration);
+            // otherwise keep the incumbent, as the legacy path always did.
+            let replace = match self.primary.get(&k) {
+                None => true,
+                Some(cur) if *cur != v => {
+                    let (vr, cr) = (value_rank(&v), value_rank(cur));
+                    vr > cr || (vr == cr && vr > 0 && v > *cur)
+                }
+                Some(_) => false,
+            };
+            if replace {
                 self.journal(|| StorageDelta::PutPrimary {
                     key: k,
                     value: v.clone(),
                 });
+                self.primary.insert(k, v);
             }
             self.touch_primary(k);
-            self.primary.entry(k).or_insert(v);
         }
         n
     }
@@ -644,6 +761,126 @@ mod tests {
             s.take_deltas(),
             vec![StorageDelta::DelReplica { key: Id(7) }]
         );
+    }
+
+    // ----- Ranked records and fence floors -----
+
+    /// Build a ranked value: magic + rank + body.
+    fn ranked(rank: u64, body: &str) -> Bytes {
+        let mut v = Vec::new();
+        v.extend_from_slice(&RANK_MAGIC);
+        v.extend_from_slice(&rank.to_le_bytes());
+        v.extend_from_slice(body.as_bytes());
+        Bytes::from(v)
+    }
+
+    #[test]
+    fn value_rank_reads_magic_or_zero() {
+        assert_eq!(value_rank(&ranked(7, "x")), 7);
+        assert_eq!(value_rank(b"plain legacy bytes"), 0);
+        assert_eq!(value_rank(b""), 0);
+        assert_eq!(value_rank(b"LRE1"), 0, "truncated rank is unranked");
+    }
+
+    #[test]
+    fn raise_fence_is_strictly_monotonic_per_origin() {
+        let mut s = Storage::new();
+        assert_eq!(s.fence_floor(Id(1)), 0);
+        assert!(s.raise_fence(Id(1), 3, 100).is_ok());
+        assert_eq!(s.fence_floor(Id(1)), 3);
+        // Same origin may re-assert its own floor (ack was lost).
+        assert!(s.raise_fence(Id(1), 3, 100).is_ok());
+        // A different origin at the same floor is rejected.
+        assert_eq!(s.raise_fence(Id(1), 3, 200), Err(3));
+        // Lower floors are rejected; higher floors win regardless of origin.
+        assert_eq!(s.raise_fence(Id(1), 2, 100), Err(3));
+        assert!(s.raise_fence(Id(1), 4, 200).is_ok());
+        assert_eq!(s.fence_floor(Id(1)), 4);
+    }
+
+    #[test]
+    fn ranked_put_respects_fence_and_rank() {
+        let mut s = Storage::new();
+        s.raise_fence(Id(9), 2, 1).unwrap();
+        // Below the floor, even on an empty slot: rejected, nothing stored.
+        assert_eq!(s.put_primary_ranked(Id(9), ranked(1, "old")), Err(None));
+        assert_eq!(s.get_primary(Id(9)), None);
+        // At the floor: lands.
+        assert!(s.put_primary_ranked(Id(9), ranked(2, "new")).is_ok());
+        // Idempotent re-put.
+        assert!(s.put_primary_ranked(Id(9), ranked(2, "new")).is_ok());
+        // Equal rank, different bytes: first writer wins.
+        assert_eq!(
+            s.put_primary_ranked(Id(9), ranked(2, "other")),
+            Err(Some(ranked(2, "new")))
+        );
+        // Higher rank overwrites a superseded record.
+        assert!(s.put_primary_ranked(Id(9), ranked(3, "fresh")).is_ok());
+        assert_eq!(s.get_primary(Id(9)), Some(&ranked(3, "fresh")));
+        // Lower rank bounces off the resident record.
+        assert_eq!(
+            s.put_primary_ranked(Id(9), ranked(2, "stale")),
+            Err(Some(ranked(3, "fresh")))
+        );
+    }
+
+    #[test]
+    fn ranked_replicas_arbitrate_unranked_overwrite() {
+        let mut s = Storage::new();
+        // Legacy: unranked replica writes overwrite unconditionally.
+        s.put_replica(Id(4), b("a"));
+        s.put_replica(Id(4), b("b"));
+        assert_eq!(s.get(Id(4)), Some(&b("b")));
+        // Ranked: higher rank wins in either order.
+        s.put_replica(Id(5), ranked(2, "win"));
+        s.put_replica(Id(5), ranked(1, "lose"));
+        assert_eq!(s.get(Id(5)), Some(&ranked(2, "win")));
+        s.put_replica(Id(6), ranked(1, "lose"));
+        s.put_replica(Id(6), ranked(2, "win"));
+        assert_eq!(s.get(Id(6)), Some(&ranked(2, "win")));
+        // Equal ranks: byte-wise max survives in either order.
+        let (lo, hi) = (ranked(3, "aaa"), ranked(3, "bbb"));
+        s.put_replica(Id(7), lo.clone());
+        s.put_replica(Id(7), hi.clone());
+        assert_eq!(s.get(Id(7)), Some(&hi));
+        s.put_replica(Id(8), hi.clone());
+        s.put_replica(Id(8), lo.clone());
+        assert_eq!(s.get(Id(8)), Some(&hi));
+    }
+
+    #[test]
+    fn promote_prefers_higher_ranked_replica() {
+        let mut s = Storage::new();
+        s.put_primary(Id(10), ranked(1, "stale"));
+        s.put_replica(Id(10), ranked(2, "winner"));
+        s.promote_replicas_in_range(Id(0), Id(20));
+        assert_eq!(s.get_primary(Id(10)), Some(&ranked(2, "winner")));
+        // Unranked conflict keeps the incumbent (legacy behaviour).
+        let mut s = Storage::new();
+        s.put_primary(Id(11), b("new"));
+        s.put_replica(Id(11), b("old"));
+        s.promote_replicas_in_range(Id(0), Id(20));
+        assert_eq!(s.get_primary(Id(11)), Some(&b("new")));
+    }
+
+    #[test]
+    fn fences_journal_and_restore() {
+        let mut s = Storage::new();
+        s.set_journaling(true);
+        s.raise_fence(Id(2), 5, 77).unwrap();
+        assert_eq!(
+            s.take_deltas(),
+            vec![StorageDelta::SetFence {
+                key: Id(2),
+                floor: 5,
+                origin: 77
+            }]
+        );
+        let mut r = Storage::new();
+        r.restore_fence(Id(2), 5, 77);
+        r.restore_fence(Id(2), 3, 99); // max-merge: lower floor ignored
+        assert_eq!(r.fence_floor(Id(2)), 5);
+        assert!(r.take_deltas().is_empty(), "restore does not journal");
     }
 
     // ----- Merkle sync summaries -----

@@ -53,6 +53,64 @@ impl ChordNode {
         }
     }
 
+    /// A `Fence` arrived; we should be the owner of the fenced key.
+    pub(crate) fn on_fence(&mut self, _now: Time, op: OpId, key: Id, floor: u64, origin: NodeRef) {
+        if !self.joined || !self.is_responsible(key) {
+            // Retryable refusal (`current: 0` — real floors are ≥ 1):
+            // ownership moved; the origin re-resolves.
+            self.send(
+                origin.addr,
+                ChordMsg::FenceAck {
+                    op,
+                    ok: false,
+                    current: 0,
+                    occupied: false,
+                },
+            );
+            return;
+        }
+        let (ok, current) = match self.store.raise_fence(key, floor, origin.id.0) {
+            Ok(()) => (true, floor),
+            Err(cur) => (false, cur),
+        };
+        let occupied = self.store.get_primary(key).is_some();
+        self.send(
+            origin.addr,
+            ChordMsg::FenceAck {
+                op,
+                ok,
+                current,
+                occupied,
+            },
+        );
+    }
+
+    /// Our earlier `Fence` was answered.
+    pub(crate) fn on_fence_ack(
+        &mut self,
+        now: Time,
+        op: OpId,
+        ok: bool,
+        current: u64,
+        occupied: bool,
+    ) {
+        let is_fence = matches!(
+            self.ops.get(&op).map(|s| &s.kind),
+            Some(OpKind::Fence { .. })
+        );
+        if !is_fence {
+            return; // late duplicate
+        }
+        if ok || current > 0 {
+            // Definitive: the floor is in force, or a rival's higher (or
+            // equal, different-origin) floor already is.
+            self.finish_fence(op, ok, current, occupied);
+        } else {
+            // Wrong owner: re-resolve and retry.
+            self.retry_from_lookup(now, op);
+        }
+    }
+
     /// A `Get` arrived. Serve from primary or replica bucket; flag whether
     /// our answer is authoritative (we own the key).
     pub(crate) fn on_get(&mut self, _now: Time, op: OpId, key: Id, origin: NodeRef) {

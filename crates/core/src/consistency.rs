@@ -6,7 +6,13 @@
 //! * **total order** — every replica integrated patches in strictly
 //!   ascending `+1` order;
 //! * **convergence** — all live replicas of a document expose identical
-//!   text (eventual consistency).
+//!   text (eventual consistency);
+//! * **equivocation** — no two stored log records anywhere in the network
+//!   share `(doc, ts)` with different payloads (the dual-master detector,
+//!   and the seed of the byzantine oracle);
+//! * **epoch monotonicity** — per replica, integrated records carry
+//!   non-decreasing master epochs (a superseded master's write never
+//!   lands after the winning epoch's).
 
 use std::collections::BTreeMap;
 
@@ -193,7 +199,121 @@ pub fn check_convergence(sim: &Sim<Payload>) -> ConvergenceReport {
     report
 }
 
-/// All three oracles over one run, bundled for scenario-style reporting
+/// Violations found by [`check_equivocation`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EquivocationReport {
+    /// `(doc, ts, epochs of the distinct payloads)` for every slot where
+    /// two different record payloads coexist *under the same master
+    /// epoch* — proof that one epoch granted the same timestamp twice,
+    /// which fencing must make impossible.
+    pub conflicts: Vec<(String, u64, Vec<u64>)>,
+    /// `(doc, ts, epochs)` for slots holding distinct payloads under
+    /// *different* epochs: a superseded master's write at a re-granted
+    /// slot, outranked by the fenced successor. Expected residue of a
+    /// takeover (e.g. on a crashed disk, or a minority copy the ranked
+    /// displacement has not yet reached) — surfaced for observability,
+    /// not an invariant violation.
+    pub superseded: Vec<(String, u64, Vec<u64>)>,
+    /// Stored log records examined (primary + replica buckets, all nodes).
+    pub records_checked: usize,
+}
+
+impl EquivocationReport {
+    /// True when no epoch ever stored two payloads for one `(doc, ts)`.
+    pub fn is_clean(&self) -> bool {
+        self.conflicts.is_empty()
+    }
+}
+
+/// Scan every node's stored log records (primary and replica buckets,
+/// crashed nodes included — their disks are evidence) and report every
+/// `(doc, ts)` held with more than one distinct patch payload.
+pub fn check_equivocation(sim: &Sim<Payload>) -> EquivocationReport {
+    let mut report = EquivocationReport::default();
+    // (doc, ts) -> payload -> epoch.
+    let mut slots: BTreeMap<(String, u64), BTreeMap<bytes::Bytes, u64>> = BTreeMap::new();
+    for idx in 0..sim.node_count() {
+        let id = simnet::NodeId(idx as u32);
+        let node = match sim.node_as::<LtrNode>(id) {
+            Some(n) => n,
+            None => continue,
+        };
+        let storage = node.chord().storage();
+        for (_, v) in storage.iter_primary().chain(storage.iter_replica()) {
+            if let Ok(rec) = p2plog::LogRecord::decode(v) {
+                report.records_checked += 1;
+                slots
+                    .entry((rec.doc.clone(), rec.ts))
+                    .or_default()
+                    .insert(rec.patch.clone(), rec.epoch);
+            }
+        }
+    }
+    for ((doc, ts), payloads) in slots {
+        if payloads.len() <= 1 {
+            continue;
+        }
+        // Two payloads under one epoch = a dual grant (violation); all
+        // payloads under distinct epochs = a fenced takeover's residue.
+        let mut per_epoch: BTreeMap<u64, usize> = BTreeMap::new();
+        for epoch in payloads.values() {
+            *per_epoch.entry(*epoch).or_default() += 1;
+        }
+        let epochs: Vec<u64> = payloads.into_values().collect();
+        if per_epoch.values().any(|&n| n > 1) {
+            report.conflicts.push((doc, ts, epochs));
+        } else {
+            report.superseded.push((doc, ts, epochs));
+        }
+    }
+    report
+}
+
+/// Violations found by [`check_epoch_monotonic`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EpochReport {
+    /// (node, doc, ts, previous epoch, integrated epoch) where the epoch
+    /// regressed along a replica's integration order.
+    pub violations: Vec<(u32, String, u64, u64, u64)>,
+    /// Total integrations checked.
+    pub checked: usize,
+}
+
+impl EpochReport {
+    /// True when every replica saw non-decreasing epochs.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Verify that every replica integrated records with non-decreasing
+/// master epochs (legacy records all carry epoch 0, trivially clean).
+pub fn check_epoch_monotonic(sim: &Sim<Payload>) -> EpochReport {
+    let mut report = EpochReport::default();
+    for idx in 0..sim.node_count() {
+        let id = simnet::NodeId(idx as u32);
+        let node = match sim.node_as::<LtrNode>(id) {
+            Some(n) => n,
+            None => continue,
+        };
+        let mut last: BTreeMap<&str, u64> = BTreeMap::new();
+        for ev in &node.events {
+            if let LtrEventKind::Integrated { doc, ts, epoch, .. } = &ev.kind {
+                let prev = last.get(doc.as_str()).copied().unwrap_or(0);
+                report.checked += 1;
+                if *epoch < prev {
+                    report
+                        .violations
+                        .push((idx as u32, doc.to_string(), *ts, prev, *epoch));
+                }
+                last.insert(doc, *epoch);
+            }
+        }
+    }
+    report
+}
+
+/// All oracles over one run, bundled for scenario-style reporting
 /// (the fault matrix runs many scenarios and needs a uniform verdict).
 #[derive(Clone, Debug)]
 pub struct InvariantReport {
@@ -203,12 +323,20 @@ pub struct InvariantReport {
     pub order: OrderReport,
     /// Replica convergence (identical text at quiescence).
     pub convergence: ConvergenceReport,
+    /// No `(doc, ts)` stored with two payloads (dual-master detector).
+    pub equivocation: EquivocationReport,
+    /// Per-replica non-decreasing master epochs.
+    pub epochs: EpochReport,
 }
 
 impl InvariantReport {
-    /// True when all three oracles pass.
+    /// True when every oracle passes.
     pub fn is_clean(&self) -> bool {
-        self.continuity.is_clean() && self.order.is_clean() && self.convergence.is_converged()
+        self.continuity.is_clean()
+            && self.order.is_clean()
+            && self.convergence.is_converged()
+            && self.equivocation.is_clean()
+            && self.epochs.is_clean()
     }
 
     /// One-line human summary, e.g. for a per-scenario table row or CI
@@ -216,7 +344,8 @@ impl InvariantReport {
     pub fn summary(&self) -> String {
         format!(
             "continuity={} (docs={}, dups={}, gaps={}) total-order={} ({} integrations) \
-             convergence={} ({} docs, {} busy)",
+             convergence={} ({} docs, {} busy) equivocation={} ({} records, {} superseded) \
+             epoch-monotonic={} ({} integrations)",
             self.continuity.is_clean(),
             self.continuity.granted.len(),
             self.continuity.duplicates.len(),
@@ -226,6 +355,11 @@ impl InvariantReport {
             self.convergence.is_converged(),
             self.convergence.docs(),
             self.convergence.busy_replicas,
+            self.equivocation.is_clean(),
+            self.equivocation.records_checked,
+            self.equivocation.superseded.len(),
+            self.epochs.is_clean(),
+            self.epochs.checked,
         )
     }
 }
@@ -236,6 +370,8 @@ pub fn check_all(sim: &Sim<Payload>) -> InvariantReport {
         continuity: check_continuity(sim),
         order: check_total_order(sim),
         convergence: check_convergence(sim),
+        equivocation: check_equivocation(sim),
+        epochs: check_epoch_monotonic(sim),
     }
 }
 

@@ -41,9 +41,26 @@ pub enum LtrEventKind {
         doc: DocName,
         /// Timestamp integrated.
         ts: u64,
+        /// Master epoch stamped on the record (0 = legacy unfenced). The
+        /// epoch-monotonicity oracle consumes these: per (node, doc) the
+        /// epoch sequence must be non-decreasing.
+        epoch: u64,
         /// True when this was our own patch recovered from the log after a
         /// lost ack.
         own: bool,
+    },
+    /// A fetched record carried a master epoch below one this replica had
+    /// already integrated — a superseded master's write at a re-granted
+    /// slot. The record was rejected and the slot refetched after backoff.
+    EpochRejected {
+        /// Document name.
+        doc: DocName,
+        /// The slot.
+        ts: u64,
+        /// The rejected record's epoch.
+        epoch: u64,
+        /// The replica's epoch floor at that moment.
+        floor: u64,
     },
     /// A validation was redirected (master moved).
     Redirected {

@@ -25,7 +25,8 @@
 //!   edits, provoke failures (the paper's prototype-GUI workflow as an
 //!   API);
 //! * [`consistency`] — the oracles: timestamp continuity, per-replica
-//!   total order, replica convergence;
+//!   total order, replica convergence, equivocation (dual-master
+//!   detector), epoch monotonicity;
 //! * [`baseline`] — the centralized single-reconciler comparator the
 //!   paper's introduction argues against (bottleneck + single point of
 //!   failure).
@@ -70,7 +71,8 @@ pub mod wire_impls;
 
 pub use config::{GcConfig, LtrConfig};
 pub use consistency::{
-    check_all, check_continuity, check_convergence, check_total_order, InvariantReport,
+    check_all, check_continuity, check_convergence, check_epoch_monotonic, check_equivocation,
+    check_total_order, InvariantReport,
 };
 pub use events::{LtrEvent, LtrEventKind};
 pub use harness::{LtrNet, RecoveryReport};

@@ -11,13 +11,13 @@
 //! wiring in [`crate::node_master`], and the Chord glue in
 //! [`crate::node_glue`].
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use bytes::Bytes;
 
 use chord::{ChordNode, ChordTimer, NodeRef, OpId, StorageDelta};
 use kts::{KtsMaster, ReqId};
-use p2plog::{DocName, LogProbe, PublishTracker, Retriever};
+use p2plog::{DocName, FenceTracker, LogProbe, PublishTracker, Retriever};
 use simnet::{CounterId, Ctx, Duration, Metrics, NodeId, Process, Time};
 use store::{NullStore, RecoveredState, Store, StoreEntry};
 
@@ -80,6 +80,12 @@ pub(crate) struct DocState {
     pub retr: Option<RetrState>,
     /// When the current publish cycle started (for end-to-end latency).
     pub cycle_started: Option<Time>,
+    /// Highest master epoch witnessed in records this replica integrated
+    /// (and in its own grants). Fetched records below this floor are
+    /// rejected: a superseded master's write at a re-granted slot.
+    /// Never updated from `LastTsReply` — an unfenced hint must not be
+    /// able to wedge the replica above every real record.
+    pub last_epoch: u64,
 }
 
 /// Why a Chord operation was issued (completion routing).
@@ -99,6 +105,8 @@ pub(crate) enum OpPurpose {
     },
     /// One get of a last-ts log probe.
     ProbeFetch { token: u64 },
+    /// One location op of a grant-fence fan-out.
+    Fence { token: u64 },
 }
 
 /// Master-side publish fan-out in progress.
@@ -109,6 +117,15 @@ pub(crate) struct PublishCtx {
 /// Master-side log probe in progress.
 pub(crate) struct ProbeCtx {
     pub probe: LogProbe,
+    /// Highest master epoch seen in the fetched record bytes — fed into
+    /// `KtsMaster::probe_done` so a restarted master re-fences *above*
+    /// every epoch the log already holds.
+    pub max_epoch: u64,
+}
+
+/// Master-side grant-fence fan-out in progress.
+pub(crate) struct FenceCtx {
+    pub tracker: FenceTracker,
 }
 
 /// Core-layer timers (multiplexed with Chord's via the tag LSB).
@@ -163,6 +180,10 @@ pub(crate) struct NodeCounters {
     pub kts_entries_handed_off: CounterId,
     pub kts_entries_handoff_received: CounterId,
     pub kts_probes_started: CounterId,
+    pub kts_fences_started: CounterId,
+    pub kts_fences_acked: CounterId,
+    pub kts_fences_superseded: CounterId,
+    pub epoch_regressions: CounterId,
     pub log_publishes: CounterId,
     pub log_gc_removed: CounterId,
     pub store_appends: CounterId,
@@ -203,6 +224,10 @@ impl NodeCounters {
             kts_entries_handed_off: m.register_counter("kts.entries_handed_off"),
             kts_entries_handoff_received: m.register_counter("kts.entries_handoff_received"),
             kts_probes_started: m.register_counter("kts.probes_started"),
+            kts_fences_started: m.register_counter("kts.fences_started"),
+            kts_fences_acked: m.register_counter("kts.fences_acked"),
+            kts_fences_superseded: m.register_counter("kts.fences_superseded"),
+            epoch_regressions: m.register_counter("ltr.epoch_regressions"),
             log_publishes: m.register_counter("log.publishes"),
             log_gc_removed: m.register_counter("log.gc_removed"),
             store_appends: m.register_counter("store.appends"),
@@ -244,6 +269,16 @@ pub struct LtrNode {
     pub(crate) publishes: HashMap<u64, PublishCtx>,
     // detlint::allow(DET-HASH, keyed by unique probe seq; never iterated)
     pub(crate) probes: HashMap<u64, ProbeCtx>,
+    // detlint::allow(DET-HASH, keyed by unique fence token; never iterated)
+    pub(crate) fences: HashMap<u64, FenceCtx>,
+
+    /// Re-entrancy queue for [`Self::apply_chord_actions`]. Chord ops on
+    /// self-owned keys complete synchronously, so a probe → fence → grant
+    /// chain would otherwise recurse one stack level per step and can
+    /// overflow under fault-heavy runs; nested action batches are queued
+    /// here and drained iteratively by the outermost call instead.
+    pub(crate) chord_action_queue: VecDeque<chord::Action>,
+    pub(crate) applying_chord_actions: bool,
 
     // detlint::allow(DET-HASH, timer tags resolve one at a time as timers fire; never iterated)
     pub(crate) timer_tags: HashMap<u64, CoreTimer>,
@@ -302,6 +337,9 @@ impl LtrNode {
             chord_ops: HashMap::new(), // detlint::allow(DET-HASH, lookup-only; see field decl)
             publishes: HashMap::new(), // detlint::allow(DET-HASH, lookup-only; see field decl)
             probes: HashMap::new(),    // detlint::allow(DET-HASH, lookup-only; see field decl)
+            fences: HashMap::new(),    // detlint::allow(DET-HASH, lookup-only; see field decl)
+            chord_action_queue: VecDeque::new(),
+            applying_chord_actions: false,
             timer_tags: HashMap::new(), // detlint::allow(DET-HASH, lookup-only; see field decl)
             tag_seq: 0,
             counters: None,
@@ -334,6 +372,9 @@ impl LtrNode {
         for (k, v) in state.replica {
             node.chord.storage_mut().put_replica(k, v);
         }
+        for (k, floor, origin) in state.fences {
+            node.chord.storage_mut().restore_fence(k, floor, origin);
+        }
         // The seed mutations are already in the journal (the dead
         // incarnation wrote them); do not journal them again.
         let _ = node.chord.storage_mut().take_deltas();
@@ -351,6 +392,7 @@ impl LtrNode {
                     inflight: None,
                     retr: None,
                     cycle_started: None,
+                    last_epoch: 0,
                 },
             );
         }
@@ -475,6 +517,9 @@ impl LtrNode {
                 StorageDelta::PutReplica { key, value } => StoreEntry::PutReplica { key, value },
                 StorageDelta::DelPrimary { key } => StoreEntry::DelPrimary { key },
                 StorageDelta::DelReplica { key } => StoreEntry::DelReplica { key },
+                StorageDelta::SetFence { key, floor, origin } => {
+                    StoreEntry::FenceFloor { key, floor, origin }
+                }
             };
             self.persist(ctx, &entry);
         }

@@ -3,7 +3,7 @@
 //! log GC sweep.
 
 use chord::{Action as ChordAction, ChordEvent, PutMode};
-use p2plog::{LogRecord, PublishVerdict, ReplicaResponse};
+use p2plog::{FenceResponse, LogRecord, PublishVerdict, ReplicaResponse};
 use simnet::Ctx;
 
 use crate::events::LtrEventKind;
@@ -12,12 +12,28 @@ use crate::payload::Payload;
 
 impl LtrNode {
     /// Execute the effects returned by the Chord state machine.
+    ///
+    /// Re-entrancy-safe: chord ops on keys this node owns complete
+    /// *synchronously* (the lookup short-circuits and the completion
+    /// event comes back in the returned action batch), and a completion
+    /// handler regularly issues the next op of its chain — a master's
+    /// probe → fence → publish sequence, a log fetch falling through its
+    /// replica hashes. Executed naively that chain re-enters this method
+    /// one stack level per step and can overflow the stack under
+    /// fault-heavy runs (deep probes, repeated re-fence cycles). Nested
+    /// calls therefore only enqueue their batch; the outermost call
+    /// drains the queue iteratively, preserving execution order.
     pub(crate) fn apply_chord_actions(
         &mut self,
         ctx: &mut Ctx<'_, Payload>,
         actions: Vec<ChordAction>,
     ) {
-        for act in actions {
+        self.chord_action_queue.extend(actions);
+        if self.applying_chord_actions {
+            return;
+        }
+        self.applying_chord_actions = true;
+        while let Some(act) = self.chord_action_queue.pop_front() {
             match act {
                 ChordAction::Send(to, m) => ctx.send(to, Payload::Chord(m)),
                 ChordAction::SetTimer(delay, t) => {
@@ -27,6 +43,7 @@ impl LtrNode {
                 ChordAction::Event(ev) => self.on_chord_event(ctx, ev),
             }
         }
+        self.applying_chord_actions = false;
     }
 
     fn on_chord_event(&mut self, ctx: &mut Ctx<'_, Payload>, ev: ChordEvent) {
@@ -89,7 +106,7 @@ impl LtrNode {
                     }
                     Some(OpPurpose::ProbeFetch { token }) => {
                         if ok {
-                            self.on_probe_result(ctx, token, value.is_some());
+                            self.on_probe_result(ctx, token, value.as_ref());
                         } else {
                             // Same distinction, with higher stakes: a probe
                             // that mistakes "unreachable" for "absent"
@@ -99,6 +116,25 @@ impl LtrNode {
                         }
                     }
                     _ => {}
+                }
+            }
+            ChordEvent::FenceDone {
+                op,
+                ok,
+                current,
+                occupied,
+            } => {
+                if let Some(OpPurpose::Fence { token }) = self.chord_ops.remove(&op) {
+                    let resp = if ok {
+                        FenceResponse::Acked { occupied }
+                    } else if current > 0 {
+                        FenceResponse::Superseded { current }
+                    } else {
+                        // Exhausted retries unanswered (owner unreachable):
+                        // not a verdict on the floor.
+                        FenceResponse::Failed
+                    };
+                    self.on_fence_response(ctx, token, resp);
                 }
             }
             ChordEvent::PredecessorChanged { old, new } => {
@@ -201,8 +237,9 @@ impl LtrNode {
         token: u64,
         key: chord::Id,
         bytes: bytes::Bytes,
+        mode: PutMode,
     ) {
-        let (op, actions) = self.chord.put(ctx.now(), key, bytes, PutMode::FirstWriter);
+        let (op, actions) = self.chord.put(ctx.now(), key, bytes, mode);
         self.chord_ops.insert(op, OpPurpose::LogPut { token });
         self.apply_chord_actions(ctx, actions);
     }

@@ -2,11 +2,11 @@
 //! backups, and log-probe recovery.
 
 use kts::{KtsMsg, MasterAction, MasterEvent};
-use p2plog::{LogProbe, PublishTracker};
+use p2plog::{FenceResponse, FenceTracker, FenceVerdict, LogProbe, PublishTracker};
 use simnet::{Ctx, NodeId};
 
 use crate::events::LtrEventKind;
-use crate::node::{LtrNode, OpPurpose, ProbeCtx, PublishCtx};
+use crate::node::{FenceCtx, LtrNode, OpPurpose, ProbeCtx, PublishCtx};
 use crate::payload::Payload;
 
 impl LtrNode {
@@ -28,8 +28,13 @@ impl LtrNode {
                         .on_validate(key, &key_name, op, proposed_ts, patch, user, responsible);
                 self.apply_master_actions(ctx, acts);
             }
-            KtsMsg::LastTs { op, key, user } => {
-                let acts = self.kts.on_last_ts(key, op, user);
+            KtsMsg::LastTs {
+                op,
+                key,
+                user,
+                known_ts,
+            } => {
+                let acts = self.kts.on_last_ts(key, op, user, known_ts);
                 self.apply_master_actions(ctx, acts);
             }
             KtsMsg::ReplicateEntry {
@@ -63,7 +68,7 @@ impl LtrNode {
                 self.record(ctx.now(), LtrEventKind::TableReceived { count });
             }
             // Replies to *our* user-side requests.
-            KtsMsg::Granted { op, ts } => self.on_validate_granted(ctx, op, ts),
+            KtsMsg::Granted { op, ts, epoch } => self.on_validate_granted(ctx, op, ts, epoch),
             KtsMsg::Retry { op, last_ts } => self.on_validate_retry(ctx, op, last_ts),
             KtsMsg::Redirect { op } => self.on_validate_redirect(ctx, op),
             KtsMsg::Failed { op, reason } => self.on_validate_failed(ctx, op, reason),
@@ -91,19 +96,36 @@ impl LtrNode {
                     key: _,
                     key_name,
                     ts,
+                    epoch,
                     patch,
                 } => {
-                    self.begin_publish(ctx, token, &key_name, ts, patch);
+                    self.begin_publish(ctx, token, &key_name, ts, epoch, patch);
                 }
                 MasterAction::BeginProbe {
                     token,
                     key: _,
                     key_name,
+                    base,
                 } => {
-                    let probe = LogProbe::new(key_name, 0, self.cfg.log.replication);
-                    self.probes.insert(token, ProbeCtx { probe });
+                    let probe = LogProbe::new(key_name, base, self.cfg.log.replication);
+                    self.probes.insert(
+                        token,
+                        ProbeCtx {
+                            probe,
+                            max_epoch: 0,
+                        },
+                    );
                     ctx.metrics().incr_id(self.c().kts_probes_started);
                     self.pump_probe(ctx, token);
+                }
+                MasterAction::BeginFence {
+                    token,
+                    key: _,
+                    key_name,
+                    epoch,
+                    last_ts,
+                } => {
+                    self.begin_fence(ctx, token, &key_name, epoch, last_ts);
                 }
                 MasterAction::ReplicateToSucc { entry } => {
                     // The entry snapshot is exactly what changed in our
@@ -133,28 +155,95 @@ impl LtrNode {
     }
 
     /// Start the log replication of a freshly granted patch:
-    /// `Put(h_i(key+ts), record)` for every replication hash, first-writer
-    /// mode (the log arbitrates duelling masters).
+    /// `Put(h_i(key+ts), record)` for every replication hash. Unfenced
+    /// grants use first-writer mode (the log arbitrates duelling masters);
+    /// fenced grants (`epoch > 0`) stamp the record with the master epoch
+    /// and use ranked mode, so a higher-epoch master's record displaces a
+    /// superseded rival's at the same slot.
     fn begin_publish(
         &mut self,
         ctx: &mut Ctx<'_, Payload>,
         token: u64,
         doc: &p2plog::DocName,
         ts: u64,
+        epoch: u64,
         patch: bytes::Bytes,
     ) {
         let n = self.cfg.log.replication;
         // Author for bookkeeping: patches are self-describing.
         let author = ot::decode_patch(&patch).map(|p| p.author).unwrap_or(0);
-        let record = p2plog::LogRecord::new(doc.as_str(), ts, author, patch);
+        let record = p2plog::LogRecord::new(doc.as_str(), ts, author, patch).with_epoch(epoch);
         let bytes = record.encode();
+        let mode = if epoch > 0 {
+            chord::PutMode::Ranked
+        } else {
+            chord::PutMode::FirstWriter
+        };
         let tracker = PublishTracker::new(n, self.cfg.log.ack_policy);
         // Register the tracker *before* issuing puts: a put to a key we own
         // completes synchronously.
         self.publishes.insert(token, PublishCtx { tracker });
         ctx.metrics().incr_id(self.c().log_publishes);
         for key in p2plog::log_locations_iter(n, doc, ts) {
-            self.issue_log_put(ctx, token, key, bytes.clone());
+            self.issue_log_put(ctx, token, key, bytes.clone(), mode);
+        }
+    }
+
+    /// Fan a grant fence out to the `n` log locations of the next slot
+    /// (`last_ts + 1`): each location op raises the epoch floor at the
+    /// slot's owner. A strict-majority quorum must hold the floor before
+    /// the master serves the key — any rival fencing the same slot
+    /// overlaps in at least one location and loses the floor arbitration
+    /// there.
+    fn begin_fence(
+        &mut self,
+        ctx: &mut Ctx<'_, Payload>,
+        token: u64,
+        doc: &p2plog::DocName,
+        epoch: u64,
+        last_ts: u64,
+    ) {
+        let n = self.cfg.log.replication;
+        let tracker = FenceTracker::new(n);
+        // Register before issuing: a fence on a key we own completes
+        // synchronously.
+        self.fences.insert(token, FenceCtx { tracker });
+        ctx.metrics().incr_id(self.c().kts_fences_started);
+        let keys: Vec<chord::Id> = p2plog::log_locations_iter(n, doc, last_ts + 1).collect();
+        for key in keys {
+            let (op, actions) = self.chord.fence(ctx.now(), key, epoch);
+            self.chord_ops.insert(op, OpPurpose::Fence { token });
+            self.apply_chord_actions(ctx, actions);
+        }
+    }
+
+    /// Feed one location's response into the fence tracker; complete the
+    /// fence when the verdict is decidable.
+    pub(crate) fn on_fence_response(
+        &mut self,
+        ctx: &mut Ctx<'_, Payload>,
+        token: u64,
+        resp: FenceResponse,
+    ) {
+        let verdict = match self.fences.get_mut(&token) {
+            Some(f) => f.tracker.on_response(resp),
+            None => return,
+        };
+        if let Some(v) = verdict {
+            self.fences.remove(&token);
+            let outcome = match v {
+                FenceVerdict::Acked { occupied } => {
+                    ctx.metrics().incr_id(self.c().kts_fences_acked);
+                    kts::FenceOutcome::Acked { occupied }
+                }
+                FenceVerdict::Superseded { current } => {
+                    ctx.metrics().incr_id(self.c().kts_fences_superseded);
+                    kts::FenceOutcome::Superseded { current }
+                }
+                FenceVerdict::Unreachable => kts::FenceOutcome::Unreachable,
+            };
+            let acts = self.kts.fence_done(token, outcome);
+            self.apply_master_actions(ctx, acts);
         }
     }
 
@@ -171,12 +260,12 @@ impl LtrNode {
                 self.apply_chord_actions(ctx, actions);
             }
             None => {
-                let result = self
+                let (result, max_epoch) = self
                     .probes
                     .remove(&token)
-                    .and_then(|p| p.probe.result())
-                    .unwrap_or(0);
-                let acts = self.kts.probe_done(token, result);
+                    .map(|p| (p.probe.result().unwrap_or(0), p.max_epoch))
+                    .unwrap_or((0, 0));
+                let acts = self.kts.probe_done(token, result, max_epoch);
                 self.apply_master_actions(ctx, acts);
             }
         }
@@ -197,15 +286,20 @@ impl LtrNode {
         }
     }
 
-    /// A probe fetch returned.
+    /// A probe fetch returned. The record bytes (when present) also carry
+    /// the epoch of the master that published the slot — tracked so the
+    /// probing master fences above it.
     pub(crate) fn on_probe_result(
         &mut self,
         ctx: &mut Ctx<'_, Payload>,
         token: u64,
-        present: bool,
+        value: Option<&bytes::Bytes>,
     ) {
         if let Some(p) = self.probes.get_mut(&token) {
-            p.probe.on_result(present);
+            p.probe.on_result(value.is_some());
+            if let Some(v) = value {
+                p.max_epoch = p.max_epoch.max(chord::value_rank(v));
+            }
         }
         self.pump_probe(ctx, token);
     }

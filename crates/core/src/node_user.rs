@@ -57,6 +57,7 @@ impl LtrNode {
                 inflight: None,
                 retr: None,
                 cycle_started: None,
+                last_epoch: 0,
             },
         );
         ctx.metrics().incr_id(self.c().docs_opened);
@@ -197,8 +198,15 @@ impl LtrNode {
         self.arm_core_timer(ctx, timeout, CoreTimer::ValidateTimeout { doc: name, req });
     }
 
-    /// `Granted{ts}`: our tentative patch is in the log with `ts`.
-    pub(crate) fn on_validate_granted(&mut self, ctx: &mut Ctx<'_, Payload>, req: ReqId, ts: u64) {
+    /// `Granted{ts, epoch}`: our tentative patch is in the log with `ts`,
+    /// stamped with the granting master's `epoch` (0 = legacy unfenced).
+    pub(crate) fn on_validate_granted(
+        &mut self,
+        ctx: &mut Ctx<'_, Payload>,
+        req: ReqId,
+        ts: u64,
+        epoch: u64,
+    ) {
         let doc = match self.validate_reqs.remove(&req) {
             Some(d) => d,
             None => return, // stale
@@ -224,6 +232,7 @@ impl LtrNode {
         let acked = state.replica.acknowledge_own_prefix(ts, prefix);
         // detlint::allow(TOT-PANIC, grant for ts==replica.ts+1 implies our own pending prefix applies; local OT invariant)
         acked.expect("own patch applies");
+        state.last_epoch = state.last_epoch.max(epoch);
         state.inflight = None;
         state.phase = UserPhase::Idle;
         let latency_ms = state
@@ -246,6 +255,7 @@ impl LtrNode {
             LtrEventKind::Integrated {
                 doc: doc.clone(),
                 ts,
+                epoch,
                 own: true,
             },
         );
@@ -586,6 +596,26 @@ impl LtrNode {
             }
         };
         debug_assert_eq!(rec.ts, ts);
+        // Epoch validation: a record stamped below this replica's epoch
+        // floor was written by a superseded master at a slot the winning
+        // epoch has (or will have) re-granted. Rejecting it aborts the
+        // retrieval; the backoff retry refetches the slot, by which time
+        // the ranked arbitration has surfaced the winning copy.
+        let floor = state.last_epoch;
+        if rec.epoch < floor {
+            ctx.metrics().incr_id(c.epoch_regressions);
+            self.record(
+                now,
+                LtrEventKind::EpochRejected {
+                    doc: doc.clone(),
+                    ts,
+                    epoch: rec.epoch,
+                    floor,
+                },
+            );
+            return false;
+        }
+        state.last_epoch = state.last_epoch.max(rec.epoch);
         // Own-record detection: our previous validation may have been
         // granted with the ack lost. It can only sit at proposed_ts + 1,
         // i.e. the *first* record of this retrieval.
@@ -622,6 +652,7 @@ impl LtrNode {
                         LtrEventKind::Integrated {
                             doc: doc.clone(),
                             ts,
+                            epoch: rec.epoch,
                             own: true,
                         },
                     );
@@ -647,6 +678,7 @@ impl LtrNode {
                     LtrEventKind::Integrated {
                         doc: doc.clone(),
                         ts,
+                        epoch: rec.epoch,
                         own: false,
                     },
                 );
@@ -680,6 +712,17 @@ impl LtrNode {
         }
         let key = state.key;
         let name = state.name.clone();
+        // Fenced mode: tell the master how far this replica already is.
+        // A freshly promoted master whose restored last_ts lags behind
+        // re-probes the log instead of replying with the stale value —
+        // the fix for idle replicas stuck one patch behind a transient
+        // master's grant. Legacy mode sends 0, keeping the old protocol
+        // byte-identical.
+        let known_ts = if self.cfg.kts.fencing {
+            state.replica.ts
+        } else {
+            0
+        };
         self.lastts_reqs.insert(req, name);
         ctx.send(
             master.addr,
@@ -687,6 +730,7 @@ impl LtrNode {
                 op: req,
                 key,
                 user: me,
+                known_ts,
             }),
         );
     }

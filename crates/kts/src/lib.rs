@@ -27,5 +27,5 @@ pub mod master;
 pub mod msg;
 
 pub use config::KtsConfig;
-pub use master::{KtsMaster, MasterAction, MasterEvent, PublishOutcome};
+pub use master::{FenceOutcome, FenceState, KtsMaster, MasterAction, MasterEvent, PublishOutcome};
 pub use msg::{HandoffEntry, KtsMsg, ReqId, ValidateFailure};

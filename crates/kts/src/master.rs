@@ -44,6 +44,9 @@ pub enum MasterAction {
         key_name: DocName,
         /// The granted timestamp.
         ts: u64,
+        /// The master epoch to stamp the record with (0 = legacy,
+        /// unfenced).
+        epoch: u64,
         /// The patch to store.
         patch: Bytes,
     },
@@ -56,6 +59,30 @@ pub enum MasterAction {
         key: Id,
         /// Document name.
         key_name: DocName,
+        /// Known lower bound on `last_ts` — the probe gallops from here.
+        /// Essential for the occupied-fence re-probe: a log with a hole
+        /// *below* this entry's `last_ts` (replicas lost to faults) makes
+        /// a base-0 probe stop at the hole and recover a value the
+        /// `max(last_ts, recovered)` merge discards, so the occupied
+        /// fence re-probes forever without progress. Galloping from the
+        /// entry's own `last_ts` instead finds the occupying record at
+        /// `last_ts + 1` and strictly advances.
+        base: u64,
+    },
+    /// Raise a grant fence at the Log-Peers of slot `last_ts + 1` with
+    /// floor `epoch`, then call [`KtsMaster::fence_done`] with the quorum
+    /// outcome (fenced mode only).
+    BeginFence {
+        /// Completion token.
+        token: u64,
+        /// The key being fenced.
+        key: Id,
+        /// Document name (for the slot's replication hashes).
+        key_name: DocName,
+        /// The fence floor: this master's epoch for the key.
+        epoch: u64,
+        /// The last granted timestamp; the fence goes up at `last_ts + 1`.
+        last_ts: u64,
     },
     /// Back up an entry at the Master-key-Succ (the embedding layer knows
     /// the current successor).
@@ -113,6 +140,39 @@ pub enum PublishOutcome {
     Unreachable,
 }
 
+/// How a delegated fence fan-out ended (mirror of the embedding layer's
+/// quorum verdict; kts stays independent of the log crate).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FenceOutcome {
+    /// A quorum of the slot's Log-Peers holds the floor.
+    Acked {
+        /// An acked location already held a record at the fenced slot: a
+        /// grant landed there before the fence went up — re-probe.
+        occupied: bool,
+    },
+    /// A higher (or rival equal) floor is in force: a newer master epoch
+    /// is active for this key.
+    Superseded {
+        /// The winning floor observed.
+        current: u64,
+    },
+    /// No quorum reachable.
+    Unreachable,
+}
+
+/// Per-key fence progress (fenced mode only; `NotNeeded` in legacy mode).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FenceState {
+    /// Legacy mode: grants are served unfenced.
+    NotNeeded,
+    /// The next slot must be fenced before the next grant.
+    Pending,
+    /// A fence fan-out is outstanding.
+    InFlight,
+    /// The next slot is fenced under this entry's epoch.
+    Acked,
+}
+
 #[derive(Clone, Debug)]
 struct QueuedValidate {
     op: ReqId,
@@ -129,6 +189,7 @@ enum Phase {
     Ready,
     Publishing,
     Probing,
+    Fencing,
 }
 
 #[derive(Clone, Debug)]
@@ -139,6 +200,7 @@ struct KeyEntry {
     phase: Phase,
     /// Verified against the log at least once (or born fresh here).
     probed: bool,
+    fence: FenceState,
     queue: VecDeque<QueuedValidate>,
 }
 
@@ -154,8 +216,19 @@ struct InflightPublish {
     key: Id,
     key_name: DocName,
     ts: u64,
+    epoch: u64,
     op: ReqId,
     user: NodeRef,
+}
+
+/// Bookkeeping for one outstanding fence fan-out. The epoch pins the
+/// completion to the entry generation that issued it: a handoff or
+/// restore bumps the epoch, so a stale `fence_done` can never ack the
+/// successor entry's fence.
+#[derive(Clone, Copy, Debug)]
+struct InflightFence {
+    key: Id,
+    epoch: u64,
 }
 
 /// The Master-key role state for one node (it may master many keys).
@@ -169,6 +242,7 @@ pub struct KtsMaster {
     // probes, so iteration order must be deterministic too.
     inflight: BTreeMap<u64, InflightPublish>,
     probing: BTreeMap<u64, Id>,
+    fencing: BTreeMap<u64, InflightFence>,
     token_seq: u64,
     acts: Vec<MasterAction>,
 }
@@ -182,6 +256,7 @@ impl KtsMaster {
             backups: BTreeMap::new(),
             inflight: BTreeMap::new(),
             probing: BTreeMap::new(),
+            fencing: BTreeMap::new(),
             token_seq: 0,
             acts: Vec::new(),
         }
@@ -214,6 +289,18 @@ impl KtsMaster {
     /// Currently queued validations across all keys (diagnostics).
     pub fn queued_validations(&self) -> usize {
         self.entries.values().map(|e| e.queue.len()).sum()
+    }
+
+    /// The fencing epoch of an authoritative entry (test / model-checker
+    /// oracle).
+    pub fn entry_epoch(&self, key: Id) -> Option<u64> {
+        self.entries.get(&key).map(|e| e.epoch)
+    }
+
+    /// The fence state of an authoritative entry (test / model-checker
+    /// oracle).
+    pub fn fence_state(&self, key: Id) -> Option<FenceState> {
+        self.entries.get(&key).map(|e| e.fence)
     }
 
     fn token(&mut self) -> u64 {
@@ -278,7 +365,24 @@ impl KtsMaster {
     /// verification probe so the *next* anti-entropy round sees the
     /// log's truth — otherwise idle replicas would trust a stale
     /// `last_ts` forever and never pull the missing patches.
-    pub fn on_last_ts(&mut self, key: Id, op: ReqId, user: NodeRef) -> Vec<MasterAction> {
+    ///
+    /// `known_ts` is the asker's own last integrated timestamp (0 in
+    /// legacy mode). A reader ahead of a *probed* entry proves the table
+    /// lags the log — some other master granted past us — so the entry is
+    /// re-verified instead of being trusted forever (the residual
+    /// "idle replica one patch stale" window of the churn matrix).
+    pub fn on_last_ts(
+        &mut self,
+        key: Id,
+        op: ReqId,
+        user: NodeRef,
+        known_ts: u64,
+    ) -> Vec<MasterAction> {
+        if known_ts > self.last_ts(key) {
+            if let Some(e) = self.entries.get_mut(&key) {
+                e.probed = false;
+            }
+        }
         if self.entries.get(&key).is_some_and(|e| !e.probed) {
             self.pump(key);
         }
@@ -290,11 +394,24 @@ impl KtsMaster {
         self.drain()
     }
 
+    /// The birth fence state of any new or re-keyed entry: fenced mode
+    /// starts every entry `Pending` — even a genuinely fresh document must
+    /// fence slot 1 before its first grant, or a partitioned rival could
+    /// serve it concurrently.
+    fn born_fence(&self) -> FenceState {
+        if self.cfg.fencing {
+            FenceState::Pending
+        } else {
+            FenceState::NotNeeded
+        }
+    }
+
     /// Create (or promote from backup) the entry for `key`.
     fn ensure_entry(&mut self, key: Id, key_name: &DocName) {
         if self.entries.contains_key(&key) {
             return;
         }
+        let fence = self.born_fence();
         match self.backups.remove(&key) {
             Some(b) => {
                 // Promotion after our predecessor (the old master) vanished.
@@ -308,6 +425,7 @@ impl KtsMaster {
                         epoch: b.epoch + 1,
                         phase: Phase::Ready,
                         probed: !self.cfg.probe_on_promote,
+                        fence,
                         queue: VecDeque::new(),
                     },
                 );
@@ -326,6 +444,7 @@ impl KtsMaster {
                         // lost to a double failure; the log is the ground
                         // truth either way.
                         probed: !self.cfg.probe_unknown_keys,
+                        fence,
                         queue: VecDeque::new(),
                     },
                 );
@@ -347,16 +466,40 @@ impl KtsMaster {
                 entry.phase = Phase::Probing;
                 let token = {
                     let name = entry.key_name.clone();
+                    let base = entry.last_ts;
                     let t = self.token();
                     self.probing.insert(t, key);
                     self.acts.push(MasterAction::BeginProbe {
                         token: t,
                         key,
                         key_name: name,
+                        base,
                     });
                     t
                 };
                 let _ = token;
+                return;
+            }
+            if self.cfg.fencing && entry.fence != FenceState::Acked && !entry.queue.is_empty() {
+                // Fence the next slot before serving anything. The probe
+                // above ran first, so `last_ts` is log-verified and the
+                // fence lands where the next grant will go. Demand-driven
+                // (queue non-empty): an idle key with unreachable log
+                // peers must not spin fence retries forever.
+                entry.phase = Phase::Fencing;
+                entry.fence = FenceState::InFlight;
+                let name = entry.key_name.clone();
+                let epoch = entry.epoch;
+                let last_ts = entry.last_ts;
+                let t = self.token();
+                self.fencing.insert(t, InflightFence { key, epoch });
+                self.acts.push(MasterAction::BeginFence {
+                    token: t,
+                    key,
+                    key_name: name,
+                    epoch,
+                    last_ts,
+                });
                 return;
             }
             let req = match entry.queue.pop_front() {
@@ -403,6 +546,7 @@ impl KtsMaster {
             let ts = entry.last_ts + 1;
             entry.phase = Phase::Publishing;
             let key_name = entry.key_name.clone();
+            let epoch = if self.cfg.fencing { entry.epoch } else { 0 };
             let token = self.token();
             self.inflight.insert(
                 token,
@@ -410,6 +554,7 @@ impl KtsMaster {
                     key,
                     key_name: key_name.clone(),
                     ts,
+                    epoch,
                     op: req.op,
                     user: req.user,
                 },
@@ -419,6 +564,7 @@ impl KtsMaster {
                 key,
                 key_name,
                 ts,
+                epoch,
                 patch: req.patch,
             });
             return;
@@ -445,6 +591,7 @@ impl KtsMaster {
                         KtsMsg::Granted {
                             op: inflight.op,
                             ts: inflight.ts,
+                            epoch: inflight.epoch,
                         },
                     ));
                     // The grant is durable in the log: it must appear in the
@@ -480,6 +627,12 @@ impl KtsMaster {
                     let entry = self.entries.get_mut(&key).expect("checked above");
                     entry.last_ts = inflight.ts;
                     entry.phase = Phase::Ready;
+                    // The fence that covered this slot is consumed by the
+                    // grant; the *next* slot lives at different log
+                    // locations and must be fenced anew.
+                    if entry.fence == FenceState::Acked {
+                        entry.fence = FenceState::Pending;
+                    }
                     (
                         HandoffEntry {
                             key,
@@ -495,6 +648,7 @@ impl KtsMaster {
                     KtsMsg::Granted {
                         op: inflight.op,
                         ts: granted_ts,
+                        epoch: inflight.epoch,
                     },
                 ));
                 let doc = entry_snapshot.key_name.clone();
@@ -511,10 +665,19 @@ impl KtsMaster {
                 // The log already holds a different record at this (key, ts):
                 // a newer master exists. Stand down and make the user
                 // re-locate the master; verify our state from the log before
-                // serving anything else.
+                // serving anything else. In fenced mode our own puts may
+                // additionally have landed at a minority of the slot's
+                // Log-Peers before the conflict was detected, so the slot
+                // may only be re-granted under a strictly higher epoch —
+                // the superseding record then outranks (and displaces) any
+                // partial copy of this one.
                 if let Some(entry) = self.entries.get_mut(&key) {
                     entry.phase = Phase::Ready;
                     entry.probed = false;
+                    if entry.fence != FenceState::NotNeeded {
+                        entry.fence = FenceState::Pending;
+                        entry.epoch += 1;
+                    }
                 }
                 self.acts.push(MasterAction::Send(
                     inflight.user.addr,
@@ -524,8 +687,22 @@ impl KtsMaster {
                     .push(MasterAction::Event(MasterEvent::StaleDetected { key }));
             }
             PublishOutcome::Unreachable => {
+                // The fan-out died without a verdict — but individual puts
+                // may still have landed (or be in flight) at some of the
+                // slot's Log-Peers. In fenced mode the slot is now suspect:
+                // re-verify against the log and re-grant only under a
+                // strictly higher epoch behind a fresh fence, so a straggler
+                // write of this grant is outranked everywhere it can land.
+                // This is the takeover rule applied to our own partial write;
+                // without it the same slot could be re-granted at the same
+                // epoch and fork the log.
                 if let Some(entry) = self.entries.get_mut(&key) {
                     entry.phase = Phase::Ready;
+                    if entry.fence != FenceState::NotNeeded {
+                        entry.probed = false;
+                        entry.fence = FenceState::Pending;
+                        entry.epoch += 1;
+                    }
                 }
                 self.acts.push(MasterAction::Send(
                     inflight.user.addr,
@@ -541,8 +718,14 @@ impl KtsMaster {
     }
 
     /// The embedding layer finished a log probe: `recovered` is the highest
-    /// timestamp found in the log for the key (0 = none).
-    pub fn probe_done(&mut self, token: u64, recovered: u64) -> Vec<MasterAction> {
+    /// timestamp found in the log for the key (0 = none), `log_epoch` the
+    /// highest master epoch stamped on any record seen (0 = legacy /
+    /// fenced-mode-off records only).
+    ///
+    /// In fenced mode a logged epoch at or above our own proves a rival
+    /// master granted under it: we advance strictly past it so our fence
+    /// floor and records outrank anything that master can still produce.
+    pub fn probe_done(&mut self, token: u64, recovered: u64, log_epoch: u64) -> Vec<MasterAction> {
         let key = match self.probing.remove(&token) {
             Some(k) => k,
             None => return self.drain(),
@@ -551,6 +734,83 @@ impl KtsMaster {
             entry.last_ts = entry.last_ts.max(recovered);
             entry.probed = true;
             entry.phase = Phase::Ready;
+            if self.cfg.fencing {
+                if log_epoch >= entry.epoch {
+                    entry.epoch = log_epoch + 1;
+                }
+                // The probe may have moved `last_ts`, relocating the next
+                // slot — any earlier fence no longer covers it.
+                entry.fence = FenceState::Pending;
+            }
+        }
+        self.pump(key);
+        self.drain()
+    }
+
+    /// The embedding layer finished the fence fan-out for `token`.
+    pub fn fence_done(&mut self, token: u64, outcome: FenceOutcome) -> Vec<MasterAction> {
+        let inflight = match self.fencing.remove(&token) {
+            Some(f) => f,
+            None => return self.drain(),
+        };
+        let key = inflight.key;
+        // Stale completion: the entry was handed off / restored (epoch
+        // bumped) or exported while the fan-out was in flight. Its current
+        // incarnation runs its own fence; this verdict proves nothing.
+        let live = self
+            .entries
+            .get(&key)
+            .is_some_and(|e| e.epoch == inflight.epoch && e.phase == Phase::Fencing);
+        if !live {
+            return self.drain();
+        }
+        match outcome {
+            FenceOutcome::Acked { occupied: false } => {
+                // Liveness-checked above: the entry exists.
+                if let Some(entry) = self.entries.get_mut(&key) {
+                    entry.phase = Phase::Ready;
+                    entry.fence = FenceState::Acked;
+                }
+            }
+            FenceOutcome::Acked { occupied: true } => {
+                // The slot we fenced already holds a record: a grant landed
+                // there before the floor went up. Our `last_ts` lags the
+                // log — re-probe, then fence the true next slot.
+                let entry = self.entries.get_mut(&key).expect("checked live");
+                entry.phase = Phase::Ready;
+                entry.fence = FenceState::Pending;
+                entry.probed = false;
+            }
+            FenceOutcome::Superseded { current } => {
+                // A newer master epoch holds the floor: stand down. The
+                // entry demotes to a backup carrying the winning epoch so
+                // a later re-promotion starts strictly above it.
+                let entry = self.entries.remove(&key).expect("checked live");
+                self.backups.insert(
+                    key,
+                    Backup {
+                        key_name: entry.key_name,
+                        last_ts: entry.last_ts,
+                        epoch: current.max(entry.epoch),
+                    },
+                );
+                for q in entry.queue {
+                    self.acts.push(MasterAction::Send(
+                        q.user.addr,
+                        KtsMsg::Redirect { op: q.op },
+                    ));
+                }
+                self.acts
+                    .push(MasterAction::Event(MasterEvent::StaleDetected { key }));
+                return self.drain();
+            }
+            FenceOutcome::Unreachable => {
+                // Retry on the next pump; the per-op timeouts of the
+                // fan-out pace the retries.
+                let entry = self.entries.get_mut(&key).expect("checked live");
+                entry.phase = Phase::Ready;
+                entry.fence = FenceState::Pending;
+            }
         }
         self.pump(key);
         self.drain()
@@ -567,6 +827,7 @@ impl KtsMaster {
     /// still replicating when the node died, and another master may have
     /// granted further timestamps while it was down.
     pub fn restore_entries(&mut self, entries: Vec<HandoffEntry>) {
+        let fence = self.born_fence();
         for e in entries {
             self.backups.remove(&e.key);
             self.entries.insert(
@@ -577,6 +838,7 @@ impl KtsMaster {
                     epoch: e.epoch + 1,
                     phase: Phase::Ready,
                     probed: !self.cfg.probe_on_promote,
+                    fence,
                     queue: VecDeque::new(),
                 },
             );
@@ -612,18 +874,25 @@ impl KtsMaster {
     /// Authoritative handoff received (graceful leave or join split).
     pub fn on_table_handoff(&mut self, entries: Vec<HandoffEntry>) -> Vec<MasterAction> {
         let count = entries.len();
+        let fence = self.born_fence();
         for e in entries {
             let existing_ts = self.entries.get(&e.key).map(|x| x.last_ts).unwrap_or(0);
+            let existing_epoch = self.entries.get(&e.key).map(|x| x.epoch).unwrap_or(0);
             let entry = KeyEntry {
                 key_name: e.key_name,
                 last_ts: e.last_ts.max(existing_ts),
-                epoch: e.epoch + 1,
+                // Bump past *both* the sender's epoch and anything this
+                // node already reached for the key — a handoff from a
+                // low-epoch sender must never regress a local entry's
+                // epoch (that would re-open the fence it sits behind).
+                epoch: e.epoch.max(existing_epoch) + 1,
                 phase: Phase::Ready,
                 // The old master may have exported while one of its grants
                 // was still replicating to the log, so the handed-over
                 // last_ts can lag by one. Verify against the log on first
                 // use (lazily, like promoted backups).
                 probed: !self.cfg.probe_on_promote,
+                fence,
                 queue: self
                     .entries
                     .remove(&e.key)
@@ -731,8 +1000,43 @@ mod tests {
         KtsConfig {
             probe_unknown_keys: false,
             probe_on_promote: false,
+            fencing: false,
             ..KtsConfig::default()
         }
+    }
+
+    /// Probing on, fencing off — the legacy default, which the pre-fencing
+    /// tests below exercise.
+    fn cfg_probe_no_fence() -> KtsConfig {
+        KtsConfig {
+            fencing: false,
+            ..KtsConfig::default()
+        }
+    }
+
+    /// Fencing on, probing off — isolates the fence stage.
+    fn cfg_fence_only() -> KtsConfig {
+        KtsConfig {
+            probe_unknown_keys: false,
+            probe_on_promote: false,
+            fencing: true,
+            ..KtsConfig::default()
+        }
+    }
+
+    /// Extract the single BeginFence (token, epoch, last_ts) from actions.
+    fn fence_req(acts: &[MasterAction]) -> (u64, u64, u64) {
+        acts.iter()
+            .find_map(|a| match a {
+                MasterAction::BeginFence {
+                    token,
+                    epoch,
+                    last_ts,
+                    ..
+                } => Some((*token, *epoch, *last_ts)),
+                _ => None,
+            })
+            .expect("no BeginFence")
     }
 
     /// Extract the single BeginPublish token from actions.
@@ -943,7 +1247,7 @@ mod tests {
 
     #[test]
     fn probe_unknown_key_before_first_grant() {
-        let cfg = KtsConfig::default(); // probing on
+        let cfg = cfg_probe_no_fence(); // probing on
         let mut m = KtsMaster::new(cfg);
         let acts = m.on_validate(
             key(),
@@ -965,7 +1269,7 @@ mod tests {
             .iter()
             .any(|a| matches!(a, MasterAction::BeginPublish { .. })));
         // Probe finds 3 patches already in the log (state was lost).
-        let acts = m.probe_done(probe_token, 3);
+        let acts = m.probe_done(probe_token, 3, 0);
         // The queued user (at ts 0) is behind -> Retry with last_ts 3.
         assert!(acts
             .iter()
@@ -981,14 +1285,14 @@ mod tests {
         // must kick off the verification probe so the *next* read serves
         // the log's truth — otherwise idle replicas would never pull the
         // missing patches (the master-crash-storm convergence bug).
-        let mut m = KtsMaster::new(KtsConfig::default()); // probing on
+        let mut m = KtsMaster::new(cfg_probe_no_fence()); // probing on
         m.restore_entries(vec![HandoffEntry {
             key: key(),
             key_name: DocName::new("doc"),
             last_ts: 4,
             epoch: 1,
         }]);
-        let acts = m.on_last_ts(key(), ReqId(9), user(1));
+        let acts = m.on_last_ts(key(), ReqId(9), user(1), 0);
         // Best-effort reply from current knowledge…
         assert!(acts.iter().any(|a| matches!(
             a,
@@ -1003,8 +1307,8 @@ mod tests {
             })
             .expect("read of an unprobed entry must start the probe");
         // The log actually holds 5 grants; the next read is authoritative.
-        m.probe_done(probe_token, 5);
-        let acts = m.on_last_ts(key(), ReqId(10), user(1));
+        m.probe_done(probe_token, 5, 0);
+        let acts = m.on_last_ts(key(), ReqId(10), user(1), 0);
         assert!(acts.iter().any(|a| matches!(
             a,
             MasterAction::Send(_, KtsMsg::LastTsReply { last_ts: 5, .. })
@@ -1036,7 +1340,7 @@ mod tests {
                 _ => None,
             })
             .expect("user-ahead must trigger probe");
-        let acts = m.probe_done(probe_token, 2);
+        let acts = m.probe_done(probe_token, 2, 0);
         // Now last_ts == proposed: grant 3.
         let t = publish_token(&acts);
         let acts = m.publish_done(t, PublishOutcome::Ok);
@@ -1161,7 +1465,7 @@ mod tests {
         // Crash recovery: disk said last_ts=3, but a grant for ts=4 was
         // in flight when we died. The restored entry must re-probe before
         // serving and then continue the sequence at 5.
-        let mut m = KtsMaster::new(KtsConfig::default()); // probing on
+        let mut m = KtsMaster::new(cfg_probe_no_fence()); // probing on
         m.restore_entries(vec![HandoffEntry {
             key: key(),
             key_name: "doc".into(),
@@ -1186,7 +1490,7 @@ mod tests {
                 _ => None,
             })
             .expect("restored entry must probe before first grant");
-        let acts = m.probe_done(probe_token, 4);
+        let acts = m.probe_done(probe_token, 4, 0);
         let t = publish_token(&acts);
         let acts = m.publish_done(t, PublishOutcome::Ok);
         assert!(acts
@@ -1279,5 +1583,263 @@ mod tests {
                 }
             )
         )));
+    }
+
+    // ---- grant fencing ---------------------------------------------------
+
+    #[test]
+    fn fenced_grant_waits_for_fence_ack() {
+        let mut m = KtsMaster::new(cfg_fence_only());
+        let acts = m.on_validate(
+            key(),
+            &DocName::new("doc"),
+            ReqId(1),
+            0,
+            patch(),
+            user(1),
+            true,
+        );
+        let (ft, epoch, last_ts) = fence_req(&acts);
+        assert_eq!(
+            (epoch, last_ts),
+            (1, 0),
+            "fresh key fences slot 1 at epoch 1"
+        );
+        assert!(
+            !acts
+                .iter()
+                .any(|a| matches!(a, MasterAction::BeginPublish { .. })),
+            "no publish before the fence is acked"
+        );
+        let acts = m.fence_done(ft, FenceOutcome::Acked { occupied: false });
+        let t = publish_token(&acts);
+        let acts = m.publish_done(t, PublishOutcome::Ok);
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            MasterAction::Send(
+                _,
+                KtsMsg::Granted {
+                    ts: 1,
+                    epoch: 1,
+                    ..
+                }
+            )
+        )));
+        // The consumed fence does not cover slot 2: the next grant re-fences.
+        let acts = m.on_validate(
+            key(),
+            &DocName::new("doc"),
+            ReqId(2),
+            1,
+            patch(),
+            user(1),
+            true,
+        );
+        let (_, epoch2, last2) = fence_req(&acts);
+        assert_eq!((epoch2, last2), (1, 1));
+    }
+
+    #[test]
+    fn superseded_fence_demotes_to_backup() {
+        let mut m = KtsMaster::new(cfg_fence_only());
+        let acts = m.on_validate(
+            key(),
+            &DocName::new("doc"),
+            ReqId(1),
+            0,
+            patch(),
+            user(1),
+            true,
+        );
+        let (ft, _, _) = fence_req(&acts);
+        let acts = m.fence_done(ft, FenceOutcome::Superseded { current: 5 });
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, MasterAction::Send(_, KtsMsg::Redirect { .. }))));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, MasterAction::Event(MasterEvent::StaleDetected { .. }))));
+        assert_eq!(m.mastered_count(), 0, "demoted");
+        assert_eq!(m.backup_count(), 1);
+        // Re-promotion starts strictly above the winning floor.
+        let acts = m.on_validate(
+            key(),
+            &DocName::new("doc"),
+            ReqId(2),
+            0,
+            patch(),
+            user(1),
+            true,
+        );
+        let (_, epoch, _) = fence_req(&acts);
+        assert_eq!(epoch, 6, "max(current 5, own 1) + 1");
+    }
+
+    #[test]
+    fn occupied_fence_slot_forces_reprobe_and_epoch_advance() {
+        let mut m = KtsMaster::new(cfg_fence_only());
+        let acts = m.on_validate(
+            key(),
+            &DocName::new("doc"),
+            ReqId(1),
+            0,
+            patch(),
+            user(1),
+            true,
+        );
+        let (ft, _, _) = fence_req(&acts);
+        // Slot 1 was already published before our floor went up.
+        let acts = m.fence_done(ft, FenceOutcome::Acked { occupied: true });
+        let probe_token = acts
+            .iter()
+            .find_map(|a| match a {
+                MasterAction::BeginProbe { token, .. } => Some(*token),
+                _ => None,
+            })
+            .expect("occupied slot must trigger a re-probe");
+        // The probe finds the rival's grant: ts 1 stamped under epoch 2.
+        let acts = m.probe_done(probe_token, 1, 2);
+        let (_, epoch, last_ts) = fence_req(&acts);
+        assert_eq!(last_ts, 1, "fence moved to the true next slot");
+        assert_eq!(epoch, 3, "advanced strictly past the logged epoch");
+        assert_eq!(m.entry_epoch(key()), Some(3));
+    }
+
+    #[test]
+    fn unreachable_fence_retries_on_demand() {
+        let mut m = KtsMaster::new(cfg_fence_only());
+        let acts = m.on_validate(
+            key(),
+            &DocName::new("doc"),
+            ReqId(1),
+            0,
+            patch(),
+            user(1),
+            true,
+        );
+        let (ft, _, _) = fence_req(&acts);
+        let acts = m.fence_done(ft, FenceOutcome::Unreachable);
+        // The queued request still needs serving: a fresh fan-out fires.
+        let (ft2, _, _) = fence_req(&acts);
+        assert_ne!(ft2, ft);
+    }
+
+    #[test]
+    fn legacy_mode_never_fences() {
+        let mut m = KtsMaster::new(cfg_no_probe());
+        let acts = m.on_validate(
+            key(),
+            &DocName::new("doc"),
+            ReqId(1),
+            0,
+            patch(),
+            user(1),
+            true,
+        );
+        assert!(!acts
+            .iter()
+            .any(|a| matches!(a, MasterAction::BeginFence { .. })));
+        assert_eq!(m.fence_state(key()), Some(FenceState::NotNeeded));
+        let t = publish_token(&acts);
+        let acts = m.publish_done(t, PublishOutcome::Ok);
+        assert!(
+            acts.iter().any(|a| matches!(
+                a,
+                MasterAction::Send(
+                    _,
+                    KtsMsg::Granted {
+                        ts: 1,
+                        epoch: 0,
+                        ..
+                    }
+                )
+            )),
+            "legacy grants carry epoch 0"
+        );
+    }
+
+    #[test]
+    fn probed_entry_reprobes_when_reader_is_ahead() {
+        // The churn-matrix residual: an idle replica that integrated ts 3
+        // asks a master whose (probed but stale) table says 1. The read
+        // must trigger re-verification, not serve 1 forever.
+        let mut m = KtsMaster::new(cfg_fence_only());
+        let acts = m.on_validate(
+            key(),
+            &DocName::new("doc"),
+            ReqId(1),
+            0,
+            patch(),
+            user(1),
+            true,
+        );
+        let (ft, _, _) = fence_req(&acts);
+        let acts = m.fence_done(ft, FenceOutcome::Acked { occupied: false });
+        m.publish_done(publish_token(&acts), PublishOutcome::Ok);
+        assert_eq!(m.last_ts(key()), 1);
+        let acts = m.on_last_ts(key(), ReqId(9), user(2), 3);
+        let probe_token = acts
+            .iter()
+            .find_map(|a| match a {
+                MasterAction::BeginProbe { token, .. } => Some(*token),
+                _ => None,
+            })
+            .expect("reader ahead of a probed entry must re-probe");
+        m.probe_done(probe_token, 3, 0);
+        let acts = m.on_last_ts(key(), ReqId(10), user(2), 3);
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            MasterAction::Send(_, KtsMsg::LastTsReply { last_ts: 3, .. })
+        )));
+    }
+
+    #[test]
+    fn handoff_epoch_never_regresses() {
+        let mut m = KtsMaster::new(cfg_fence_only());
+        m.restore_entries(vec![HandoffEntry {
+            key: key(),
+            key_name: "doc".into(),
+            last_ts: 3,
+            epoch: 7,
+        }]);
+        assert_eq!(m.entry_epoch(key()), Some(8));
+        // A lagging old master hands the key over with a stale epoch.
+        m.on_table_handoff(vec![HandoffEntry {
+            key: key(),
+            key_name: "doc".into(),
+            last_ts: 3,
+            epoch: 2,
+        }]);
+        assert_eq!(m.entry_epoch(key()), Some(9), "max(2, 8) + 1");
+    }
+
+    #[test]
+    fn stale_fence_completion_cannot_ack_new_epoch() {
+        let mut m = KtsMaster::new(cfg_fence_only());
+        let acts = m.on_validate(
+            key(),
+            &DocName::new("doc"),
+            ReqId(1),
+            0,
+            patch(),
+            user(1),
+            true,
+        );
+        let (ft, _, _) = fence_req(&acts);
+        // A handoff bumps the epoch while the fan-out is in flight (and
+        // re-pumps, starting its own fence under the new epoch).
+        m.on_table_handoff(vec![HandoffEntry {
+            key: key(),
+            key_name: "doc".into(),
+            last_ts: 0,
+            epoch: 4,
+        }]);
+        assert_eq!(m.entry_epoch(key()), Some(5));
+        let _ = m.fence_done(ft, FenceOutcome::Acked { occupied: false });
+        assert_eq!(
+            m.fence_state(key()),
+            Some(FenceState::InFlight),
+            "the superseded completion must not ack the new entry's fence"
+        );
     }
 }

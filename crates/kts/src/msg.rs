@@ -55,6 +55,9 @@ pub enum KtsMsg {
         op: ReqId,
         /// The validated (continuous) timestamp.
         ts: u64,
+        /// The master epoch the grant was issued under (0 = legacy,
+        /// unfenced master; encoded as an optional trailing field).
+        epoch: u64,
     },
     /// Master → user: you are behind; retrieve `(proposed_ts, last_ts]`
     /// first, integrate, then re-validate.
@@ -85,6 +88,11 @@ pub enum KtsMsg {
         key: Id,
         /// Where to answer.
         user: NodeRef,
+        /// The asker's own last integrated timestamp (0 = unknown or
+        /// legacy mode; encoded as an optional trailing field). A fenced
+        /// master that sees a reader ahead of its own table re-probes
+        /// the log instead of serving a stale answer.
+        known_ts: u64,
     },
     /// Master → user: `last_ts(key)` answer.
     LastTsReply {

@@ -2,6 +2,10 @@
 //! mixes of validations, publish completions (ok/conflict/unreachable),
 //! probes, handoffs and backups must never break the continuity of granted
 //! timestamps.
+//!
+//! These scripts pin `fencing: false` — they exercise the legacy unfenced
+//! protocol, which must stay intact. The fenced state machine has its own
+//! model-checked interleaving suite in `fencing_model.rs`.
 
 use bytes::Bytes;
 use chord::DocName;
@@ -100,7 +104,7 @@ impl World {
         }
         let token = self.probes.remove(0);
         let high = self.log_high;
-        let acts = self.master.probe_done(token, high);
+        let acts = self.master.probe_done(token, high, 0);
         self.absorb(acts);
     }
 }
@@ -118,6 +122,7 @@ proptest! {
             probe_unknown_keys: probe_cfg,
             probe_on_promote: probe_cfg,
             max_queue_per_key: 16,
+            fencing: false,
             ..KtsConfig::default()
         };
         let mut w = World::new(cfg);
@@ -172,6 +177,7 @@ proptest! {
         let cfg = KtsConfig {
             probe_unknown_keys: false,
             probe_on_promote: false,
+            fencing: false,
             ..KtsConfig::default()
         };
         let key = Id(5);
@@ -202,7 +208,11 @@ proptest! {
     /// a log probe (the backup may lag).
     #[test]
     fn crash_promotion_continues_sequence(grants_before in 1u64..15, lag in 0u64..2) {
-        let cfg = KtsConfig::default(); // probing ON — required for lagging backups
+        // Probing ON — required for lagging backups; fencing off (legacy).
+        let cfg = KtsConfig {
+            fencing: false,
+            ..KtsConfig::default()
+        };
         let key = Id(7);
         let mut a = World::new(cfg.clone());
         for i in 0..grants_before {

@@ -11,6 +11,9 @@
 //! * [`publish::PublishTracker`] — fan-out bookkeeping with All/Quorum ack
 //!   policies; a single first-writer conflict is decisive (duelling-master
 //!   arbitration);
+//! * [`fence::FenceTracker`] — quorum bookkeeping for the grant fence a
+//!   fenced-mode master raises at the next slot's Log-Peers before
+//!   serving (master-epoch hardening, see ARCHITECTURE.md);
 //! * [`retrieval::Retriever`] — the paper's retrieval algorithm: pipelined
 //!   fetches, replica fallback (`h1`, then `h2`, …), strictly in-order
 //!   delivery of continuous timestamps;
@@ -22,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod fence;
 pub mod hashfam;
 pub mod index;
 pub mod probe;
@@ -31,6 +35,7 @@ pub mod retrieval;
 
 pub use chord::DocName;
 pub use config::{AckPolicy, LogConfig};
+pub use fence::{FenceResponse, FenceTracker, FenceVerdict};
 pub use hashfam::{hr, ht, log_locations, log_locations_iter, DocHashes};
 pub use index::LogIndex;
 pub use probe::{LogProbe, ProbeCmd};

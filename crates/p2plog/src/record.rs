@@ -13,6 +13,9 @@ pub struct LogRecord {
     pub author: u64,
     /// The encoded patch body (see `ot::encode_patch`).
     pub patch: Bytes,
+    /// The master epoch the grant was issued under (0 = legacy,
+    /// pre-fencing record; encodes to the exact legacy byte layout).
+    pub epoch: u64,
 }
 
 /// Errors decoding a log record.
@@ -52,31 +55,51 @@ fn fnv64(chunks: &[&[u8]]) -> u64 {
 }
 
 impl LogRecord {
-    /// Build a record.
+    /// Build a legacy (epoch-0) record.
     pub fn new(doc: impl Into<String>, ts: u64, author: u64, patch: Bytes) -> Self {
         LogRecord {
             doc: doc.into(),
             ts,
             author,
             patch,
+            epoch: 0,
         }
     }
 
+    /// Stamp the record with the granting master's epoch (fenced mode).
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
     fn checksum(&self) -> u64 {
-        fnv64(&[
-            self.doc.as_bytes(),
-            &self.ts.to_le_bytes(),
-            &self.author.to_le_bytes(),
-            &self.patch,
-        ])
+        // The epoch chunk participates only when present on the wire
+        // (epoch > 0) so epoch-0 records keep their legacy checksums.
+        let ts_le = self.ts.to_le_bytes();
+        let author_le = self.author.to_le_bytes();
+        let epoch_le = self.epoch.to_le_bytes();
+        let mut chunks: Vec<&[u8]> = vec![self.doc.as_bytes(), &ts_le, &author_le, &self.patch];
+        if self.epoch > 0 {
+            chunks.push(&epoch_le);
+        }
+        fnv64(&chunks)
     }
 
     /// Serialize with a trailing checksum.
     ///
-    /// Layout: u32 doc_len | doc | u64 ts | u64 author | u32 patch_len |
-    /// patch | u64 checksum (all little-endian).
+    /// Legacy layout (epoch 0): u32 doc_len | doc | u64 ts | u64 author |
+    /// u32 patch_len | patch | u64 checksum (all little-endian).
+    ///
+    /// Epoch-stamped layout (epoch > 0): [`chord::RANK_MAGIC`] | u64 epoch
+    /// | legacy body — the epoch prefix doubles as the storage-arbitration
+    /// rank ([`chord::value_rank`]), and the checksum additionally covers
+    /// the epoch.
     pub fn encode(&self) -> Bytes {
-        let mut out = Vec::with_capacity(self.doc.len() + self.patch.len() + 40);
+        let mut out = Vec::with_capacity(self.doc.len() + self.patch.len() + 52);
+        if self.epoch > 0 {
+            out.extend_from_slice(&chord::RANK_MAGIC);
+            out.extend_from_slice(&self.epoch.to_le_bytes());
+        }
         out.extend_from_slice(&(self.doc.len() as u32).to_le_bytes());
         out.extend_from_slice(self.doc.as_bytes());
         out.extend_from_slice(&self.ts.to_le_bytes());
@@ -87,8 +110,14 @@ impl LogRecord {
         Bytes::from(out)
     }
 
-    /// Parse and verify a record.
+    /// Parse and verify a record (either layout).
     pub fn decode(buf: &[u8]) -> Result<LogRecord, RecordError> {
+        let (epoch, buf) = if buf.len() >= 12 && buf[..4] == chord::RANK_MAGIC {
+            let epoch = u64::from_le_bytes(buf[4..12].try_into().expect("4..12 is 8 bytes"));
+            (epoch, &buf[12..])
+        } else {
+            (0, buf)
+        };
         let need = |at: usize, n: usize| -> Result<(), RecordError> {
             if at + n > buf.len() {
                 Err(RecordError::Truncated)
@@ -128,6 +157,7 @@ impl LogRecord {
             ts,
             author,
             patch,
+            epoch,
         };
         if rec.checksum() != stored_sum {
             return Err(RecordError::BadChecksum);
@@ -181,5 +211,39 @@ mod tests {
     fn unicode_doc_name() {
         let r = LogRecord::new("página/Ωλ", 1, 1, Bytes::from_static(b"x"));
         assert_eq!(LogRecord::decode(&r.encode()).unwrap().doc, "página/Ωλ");
+    }
+
+    #[test]
+    fn epoch_roundtrips_and_ranks() {
+        let r = sample().with_epoch(5);
+        let bytes = r.encode();
+        assert_eq!(chord::value_rank(&bytes), 5);
+        assert_eq!(LogRecord::decode(&bytes).unwrap(), r);
+    }
+
+    #[test]
+    fn epoch_zero_is_byte_identical_to_legacy() {
+        let r = sample();
+        let bytes = r.encode();
+        assert_eq!(chord::value_rank(&bytes), 0);
+        assert!(!bytes.starts_with(&chord::RANK_MAGIC));
+        // The with_epoch(0) spelling changes nothing.
+        assert_eq!(sample().with_epoch(0).encode(), bytes);
+    }
+
+    #[test]
+    fn epoch_record_detects_corruption_anywhere() {
+        let bytes = sample().with_epoch(9).encode();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.to_vec();
+            bad[i] ^= 0x01;
+            assert!(
+                LogRecord::decode(&bad).is_err(),
+                "bit flip at {i} undetected"
+            );
+        }
+        for cut in 0..bytes.len() {
+            assert!(LogRecord::decode(&bytes[..cut]).is_err());
+        }
     }
 }

@@ -70,6 +70,18 @@ pub enum StoreEntry {
         /// re-integrates validated patches onto).
         initial: String,
     },
+    /// A fence floor raised on a stored key (grant fencing; see
+    /// ARCHITECTURE.md, "Grant fencing and master epochs"). Floors are
+    /// max-merged on recovery — a restarted Log-Peer must keep rejecting
+    /// writes it already fenced out.
+    FenceFloor {
+        /// DHT key of the fenced log slot.
+        key: Id,
+        /// The epoch floor in force.
+        floor: u64,
+        /// Ring id of the master that raised the fence.
+        origin: u64,
+    },
 }
 
 // Entry tags are part of the on-disk format: append-only, never renumber.
@@ -81,6 +93,7 @@ const TAG_KTS_AUTH: u8 = 4;
 const TAG_KTS_BACKUP: u8 = 5;
 const TAG_KTS_DEMOTE: u8 = 6;
 const TAG_DOC_OPEN: u8 = 7;
+const TAG_FENCE_FLOOR: u8 = 8;
 
 impl Encode for StoreEntry {
     fn encode(&self, out: &mut Vec<u8>) {
@@ -120,6 +133,12 @@ impl Encode for StoreEntry {
                 doc.encode(out);
                 initial.encode(out);
             }
+            StoreEntry::FenceFloor { key, floor, origin } => {
+                out.push(TAG_FENCE_FLOOR);
+                key.encode(out);
+                floor.encode(out);
+                origin.encode(out);
+            }
         }
     }
 
@@ -133,6 +152,9 @@ impl Encode for StoreEntry {
             | StoreEntry::KtsDemote { key } => key.encoded_len(),
             StoreEntry::KtsAuth { entry } | StoreEntry::KtsBackup { entry } => entry.encoded_len(),
             StoreEntry::DocOpen { doc, initial } => doc.encoded_len() + initial.encoded_len(),
+            StoreEntry::FenceFloor { key, floor, origin } => {
+                key.encoded_len() + floor.encoded_len() + origin.encoded_len()
+            }
         }
     }
 }
@@ -166,6 +188,11 @@ impl Decode for StoreEntry {
             TAG_DOC_OPEN => StoreEntry::DocOpen {
                 doc: DocName::decode(r)?,
                 initial: String::decode(r)?,
+            },
+            TAG_FENCE_FLOOR => StoreEntry::FenceFloor {
+                key: Id::decode(r)?,
+                floor: u64::decode(r)?,
+                origin: u64::decode(r)?,
             },
             tag => {
                 return Err(WireError::BadTag {
@@ -220,6 +247,11 @@ mod tests {
             StoreEntry::DocOpen {
                 doc: DocName::new("notes/today"),
                 initial: "# heading\nbody".into(),
+            },
+            StoreEntry::FenceFloor {
+                key: Id(77),
+                floor: 4,
+                origin: 0xABCD,
             },
         ]
     }

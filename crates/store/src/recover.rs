@@ -22,6 +22,10 @@ pub struct RecoveredState {
     pub kts_backups: Vec<HandoffEntry>,
     /// Documents the local user had open: `(name, initial text)`.
     pub docs: Vec<(DocName, String)>,
+    /// Fence floors this node enforced as a Log-Peer: `(key, floor,
+    /// origin)`, key order, max-merged (matching
+    /// `chord::Storage::restore_fence`).
+    pub fences: Vec<(Id, u64, u64)>,
 }
 
 impl RecoveredState {
@@ -40,6 +44,7 @@ impl RecoveredState {
         let mut auth: BTreeMap<Id, HandoffEntry> = BTreeMap::new();
         let mut backup: BTreeMap<Id, HandoffEntry> = BTreeMap::new();
         let mut docs: BTreeMap<DocName, String> = BTreeMap::new();
+        let mut fences: BTreeMap<Id, (u64, u64)> = BTreeMap::new();
         for e in entries {
             match e {
                 StoreEntry::PutPrimary { key, value } => {
@@ -78,6 +83,12 @@ impl RecoveredState {
                 StoreEntry::DocOpen { doc, initial } => {
                     docs.entry(doc.clone()).or_insert_with(|| initial.clone());
                 }
+                StoreEntry::FenceFloor { key, floor, origin } => {
+                    let slot = fences.entry(*key).or_insert((*floor, *origin));
+                    if *floor > slot.0 {
+                        *slot = (*floor, *origin);
+                    }
+                }
             }
         }
         RecoveredState {
@@ -86,6 +97,7 @@ impl RecoveredState {
             kts_entries: auth.into_values().collect(),
             kts_backups: backup.into_values().collect(),
             docs: docs.into_iter().collect(),
+            fences: fences.into_iter().map(|(k, (f, o))| (k, f, o)).collect(),
         }
     }
 
@@ -96,6 +108,7 @@ impl RecoveredState {
             && self.kts_entries.is_empty()
             && self.kts_backups.is_empty()
             && self.docs.is_empty()
+            && self.fences.is_empty()
     }
 
     /// Total items across all tables (diagnostics / metrics).
@@ -105,6 +118,7 @@ impl RecoveredState {
             + self.kts_entries.len()
             + self.kts_backups.len()
             + self.docs.len()
+            + self.fences.len()
     }
 }
 
@@ -189,6 +203,30 @@ mod tests {
         ]);
         assert_eq!(s.kts_entries.len(), 1);
         assert!(s.kts_backups.is_empty());
+    }
+
+    #[test]
+    fn fence_floors_max_merge() {
+        let s = RecoveredState::rebuild(&[
+            StoreEntry::FenceFloor {
+                key: Id(4),
+                floor: 2,
+                origin: 10,
+            },
+            StoreEntry::FenceFloor {
+                key: Id(4),
+                floor: 5,
+                origin: 20,
+            },
+            StoreEntry::FenceFloor {
+                key: Id(4),
+                floor: 3,
+                origin: 30,
+            }, // stale: ignored
+        ]);
+        assert_eq!(s.fences, vec![(Id(4), 5, 20)]);
+        assert!(!s.is_empty());
+        assert_eq!(s.item_count(), 1);
     }
 
     #[test]

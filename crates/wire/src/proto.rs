@@ -121,6 +121,7 @@ impl Encode for PutMode {
         out.push(match self {
             PutMode::Overwrite => 0,
             PutMode::FirstWriter => 1,
+            PutMode::Ranked => 2,
         });
     }
     fn encoded_len(&self) -> usize {
@@ -133,6 +134,7 @@ impl Decode for PutMode {
         match r.read_u8()? {
             0 => Ok(PutMode::Overwrite),
             1 => Ok(PutMode::FirstWriter),
+            2 => Ok(PutMode::Ranked),
             tag => Err(WireError::BadTag {
                 what: "PutMode",
                 tag,
@@ -200,12 +202,22 @@ impl Encode for LogRecord {
         self.ts.encode(out);
         self.author.encode(out);
         self.patch.encode(out);
+        // Optional trailing field: legacy (epoch-0) records keep their
+        // exact pre-fencing byte layout.
+        if self.epoch > 0 {
+            self.epoch.encode(out);
+        }
     }
     fn encoded_len(&self) -> usize {
         self.doc.encoded_len()
             + self.ts.encoded_len()
             + self.author.encoded_len()
             + self.patch.encoded_len()
+            + if self.epoch > 0 {
+                self.epoch.encoded_len()
+            } else {
+                0
+            }
     }
 }
 
@@ -216,6 +228,11 @@ impl Decode for LogRecord {
             ts: u64::decode(r)?,
             author: u64::decode(r)?,
             patch: bytes::Bytes::decode(r)?,
+            epoch: if r.remaining() == 0 {
+                0
+            } else {
+                u64::decode(r)?
+            },
         })
     }
 }
@@ -245,6 +262,8 @@ pub fn chord_class(msg: &ChordMsg) -> &'static str {
         ChordMsg::SyncDiff { .. } => "chord.sync.diff",
         ChordMsg::SyncNodes { .. } => "chord.sync.nodes",
         ChordMsg::SyncAck { .. } => "chord.sync.ack",
+        ChordMsg::Fence { .. } => "chord.fence",
+        ChordMsg::FenceAck { .. } => "chord.fence_ack",
     }
 }
 
@@ -379,6 +398,30 @@ impl Encode for ChordMsg {
                 out.push(18);
                 ver.encode(out);
             }
+            ChordMsg::Fence {
+                op,
+                key,
+                floor,
+                origin,
+            } => {
+                out.push(19);
+                op.encode(out);
+                key.encode(out);
+                floor.encode(out);
+                origin.encode(out);
+            }
+            ChordMsg::FenceAck {
+                op,
+                ok,
+                current,
+                occupied,
+            } => {
+                out.push(20);
+                op.encode(out);
+                ok.encode(out);
+                current.encode(out);
+                occupied.encode(out);
+            }
         }
     }
 
@@ -448,6 +491,20 @@ impl Encode for ChordMsg {
                 ver.encoded_len() + nodes.encoded_len() + leaves.encoded_len()
             }
             ChordMsg::SyncAck { ver } => ver.encoded_len(),
+            ChordMsg::Fence {
+                op,
+                key,
+                floor,
+                origin,
+            } => op.encoded_len() + key.encoded_len() + floor.encoded_len() + origin.encoded_len(),
+            ChordMsg::FenceAck {
+                op,
+                ok,
+                current,
+                occupied,
+            } => {
+                op.encoded_len() + ok.encoded_len() + current.encoded_len() + occupied.encoded_len()
+            }
         }
     }
 }
@@ -538,6 +595,18 @@ impl Decode for ChordMsg {
             18 => ChordMsg::SyncAck {
                 ver: u64::decode(r)?,
             },
+            19 => ChordMsg::Fence {
+                op: OpId::decode(r)?,
+                key: Id::decode(r)?,
+                floor: u64::decode(r)?,
+                origin: NodeRef::decode(r)?,
+            },
+            20 => ChordMsg::FenceAck {
+                op: OpId::decode(r)?,
+                ok: bool::decode(r)?,
+                current: u64::decode(r)?,
+                occupied: bool::decode(r)?,
+            },
             tag => {
                 return Err(WireError::BadTag {
                     what: "ChordMsg",
@@ -585,10 +654,15 @@ impl Encode for KtsMsg {
                 patch.encode(out);
                 user.encode(out);
             }
-            KtsMsg::Granted { op, ts } => {
+            KtsMsg::Granted { op, ts, epoch } => {
                 out.push(1);
                 op.encode(out);
                 ts.encode(out);
+                // Optional trailing field: legacy (epoch-0) grants keep
+                // their exact pre-fencing byte layout.
+                if *epoch > 0 {
+                    epoch.encode(out);
+                }
             }
             KtsMsg::Retry { op, last_ts } => {
                 out.push(2);
@@ -604,11 +678,20 @@ impl Encode for KtsMsg {
                 op.encode(out);
                 reason.encode(out);
             }
-            KtsMsg::LastTs { op, key, user } => {
+            KtsMsg::LastTs {
+                op,
+                key,
+                user,
+                known_ts,
+            } => {
                 out.push(5);
                 op.encode(out);
                 key.encode(out);
                 user.encode(out);
+                // Optional trailing field, like Granted.epoch.
+                if *known_ts > 0 {
+                    known_ts.encode(out);
+                }
             }
             KtsMsg::LastTsReply { op, key, last_ts } => {
                 out.push(6);
@@ -652,12 +735,28 @@ impl Encode for KtsMsg {
                     + patch.encoded_len()
                     + user.encoded_len()
             }
-            KtsMsg::Granted { op, ts } => op.encoded_len() + ts.encoded_len(),
+            KtsMsg::Granted { op, ts, epoch } => {
+                op.encoded_len()
+                    + ts.encoded_len()
+                    + if *epoch > 0 { epoch.encoded_len() } else { 0 }
+            }
             KtsMsg::Retry { op, last_ts } => op.encoded_len() + last_ts.encoded_len(),
             KtsMsg::Redirect { op } => op.encoded_len(),
             KtsMsg::Failed { op, reason } => op.encoded_len() + reason.encoded_len(),
-            KtsMsg::LastTs { op, key, user } => {
-                op.encoded_len() + key.encoded_len() + user.encoded_len()
+            KtsMsg::LastTs {
+                op,
+                key,
+                user,
+                known_ts,
+            } => {
+                op.encoded_len()
+                    + key.encoded_len()
+                    + user.encoded_len()
+                    + if *known_ts > 0 {
+                        known_ts.encoded_len()
+                    } else {
+                        0
+                    }
             }
             KtsMsg::LastTsReply { op, key, last_ts } => {
                 op.encoded_len() + key.encoded_len() + last_ts.encoded_len()
@@ -693,6 +792,11 @@ impl Decode for KtsMsg {
             1 => KtsMsg::Granted {
                 op: ReqId::decode(r)?,
                 ts: u64::decode(r)?,
+                epoch: if r.remaining() == 0 {
+                    0
+                } else {
+                    u64::decode(r)?
+                },
             },
             2 => KtsMsg::Retry {
                 op: ReqId::decode(r)?,
@@ -709,6 +813,11 @@ impl Decode for KtsMsg {
                 op: ReqId::decode(r)?,
                 key: Id::decode(r)?,
                 user: NodeRef::decode(r)?,
+                known_ts: if r.remaining() == 0 {
+                    0
+                } else {
+                    u64::decode(r)?
+                },
             },
             6 => KtsMsg::LastTsReply {
                 op: ReqId::decode(r)?,
@@ -794,6 +903,13 @@ mod tests {
             mode: PutMode::FirstWriter,
             origin: nref(1, 2),
         });
+        rt_chord(ChordMsg::Put {
+            op: OpId(8),
+            key: Id(123),
+            value: Bytes::from(vec![4]),
+            mode: PutMode::Ranked,
+            origin: nref(1, 2),
+        });
         rt_chord(ChordMsg::PutAck {
             op: OpId(8),
             ok: false,
@@ -842,6 +958,18 @@ mod tests {
             leaves: vec![(48, vec![(Id(7), [9; 20])]), (49, vec![])],
         });
         rt_chord(ChordMsg::SyncAck { ver: u64::MAX });
+        rt_chord(ChordMsg::Fence {
+            op: OpId(9),
+            key: Id(321),
+            floor: u64::MAX,
+            origin: nref(2, 22),
+        });
+        rt_chord(ChordMsg::FenceAck {
+            op: OpId(9),
+            ok: false,
+            current: 17,
+            occupied: true,
+        });
     }
 
     #[test]
@@ -857,6 +985,12 @@ mod tests {
         rt_kts(KtsMsg::Granted {
             op: ReqId(1),
             ts: 2,
+            epoch: 0,
+        });
+        rt_kts(KtsMsg::Granted {
+            op: ReqId(1),
+            ts: 2,
+            epoch: u64::MAX,
         });
         rt_kts(KtsMsg::Retry {
             op: ReqId(1),
@@ -877,6 +1011,13 @@ mod tests {
             op: ReqId(5),
             key: Id(6),
             user: nref(7, 8),
+            known_ts: 0,
+        });
+        rt_kts(KtsMsg::LastTs {
+            op: ReqId(5),
+            key: Id(6),
+            user: nref(7, 8),
+            known_ts: 4096,
         });
         rt_kts(KtsMsg::LastTsReply {
             op: ReqId(5),
@@ -932,13 +1073,30 @@ mod tests {
                 4, // hops
             ]
         );
+        // Legacy grants (epoch 0) must keep the exact pre-fencing layout:
+        // the epoch is an optional trailing field.
         assert_eq!(
             KtsMsg::Granted {
                 op: ReqId(1),
-                ts: 128
+                ts: 128,
+                epoch: 0
             }
             .to_wire(),
             vec![1 /*tag*/, 1 /*op*/, 0x80, 0x01 /*ts=128*/]
+        );
+        assert_eq!(
+            KtsMsg::Granted {
+                op: ReqId(1),
+                ts: 128,
+                epoch: 3
+            }
+            .to_wire(),
+            vec![
+                1, /*tag*/
+                1, /*op*/
+                0x80, 0x01, /*ts=128*/
+                3     /*epoch*/
+            ]
         );
         // The steady-state anti-entropy round: one root + one ack.
         let mut expect = vec![
@@ -966,7 +1124,7 @@ mod tests {
 
     #[test]
     fn unknown_tags_are_errors_not_panics() {
-        for tag in 19u8..=255 {
+        for tag in 21u8..=255 {
             assert!(matches!(
                 ChordMsg::from_wire(&[tag]),
                 Err(WireError::BadTag { .. })

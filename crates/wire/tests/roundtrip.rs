@@ -72,7 +72,7 @@ fn arb_items(rng: &mut Rng64) -> Vec<(Id, Bytes)> {
 }
 
 fn arb_chord_msg(rng: &mut Rng64) -> ChordMsg {
-    match rng.gen_below(15) {
+    match rng.gen_below(17) {
         0 => ChordMsg::FindSuccessor {
             op: OpId(arb_u64(rng)),
             target: arb_id(rng),
@@ -108,11 +108,7 @@ fn arb_chord_msg(rng: &mut Rng64) -> ChordMsg {
             op: OpId(arb_u64(rng)),
             key: arb_id(rng),
             value: arb_bytes(rng),
-            mode: if rng.chance(0.5) {
-                PutMode::Overwrite
-            } else {
-                PutMode::FirstWriter
-            },
+            mode: *rng.pick(&[PutMode::Overwrite, PutMode::FirstWriter, PutMode::Ranked]),
             origin: arb_node_ref(rng),
         },
         8 => ChordMsg::PutAck {
@@ -140,8 +136,20 @@ fn arb_chord_msg(rng: &mut Rng64) -> ChordMsg {
             pred_of_leaver: rng.chance(0.5).then(|| arb_node_ref(rng)),
             items: arb_items(rng),
         },
-        _ => ChordMsg::LeaveToPred {
+        14 => ChordMsg::LeaveToPred {
             succ_of_leaver: arb_node_ref(rng),
+        },
+        15 => ChordMsg::Fence {
+            op: OpId(arb_u64(rng)),
+            key: arb_id(rng),
+            floor: arb_u64(rng),
+            origin: arb_node_ref(rng),
+        },
+        _ => ChordMsg::FenceAck {
+            op: OpId(arb_u64(rng)),
+            ok: rng.chance(0.5),
+            current: arb_u64(rng),
+            occupied: rng.chance(0.5),
         },
     }
 }
@@ -159,6 +167,8 @@ fn arb_kts_msg(rng: &mut Rng64) -> KtsMsg {
         1 => KtsMsg::Granted {
             op: ReqId(arb_u64(rng)),
             ts: arb_u64(rng),
+            // Optional trailing field: exercise absent (0) and present.
+            epoch: if rng.chance(0.5) { 0 } else { arb_u64(rng) },
         },
         2 => KtsMsg::Retry {
             op: ReqId(arb_u64(rng)),
@@ -179,6 +189,7 @@ fn arb_kts_msg(rng: &mut Rng64) -> KtsMsg {
             op: ReqId(arb_u64(rng)),
             key: arb_id(rng),
             user: arb_node_ref(rng),
+            known_ts: if rng.chance(0.5) { 0 } else { arb_u64(rng) },
         },
         6 => KtsMsg::LastTsReply {
             op: ReqId(arb_u64(rng)),
@@ -208,12 +219,14 @@ fn arb_kts_msg(rng: &mut Rng64) -> KtsMsg {
 }
 
 fn arb_log_record(rng: &mut Rng64) -> LogRecord {
+    let epoch = if rng.chance(0.5) { 0 } else { arb_u64(rng) };
     LogRecord::new(
         arb_doc_name(rng).as_str(),
         arb_u64(rng),
         arb_u64(rng),
         arb_bytes(rng),
     )
+    .with_epoch(epoch)
 }
 
 // Debug output is a faithful structural rendering for these types, so it

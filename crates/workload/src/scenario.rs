@@ -16,28 +16,28 @@
 //! CI runs on every push (`exp_fault`, the `fault-matrix` job, and the
 //! per-scenario integration tests in `tests/tests/fault_matrix.rs`).
 //!
-//! ## What the engine has caught, and the known residual
+//! ## What the engine has caught
 //!
-//! Building this matrix surfaced (and led to fixes for) four real bugs:
+//! Building this matrix surfaced (and led to fixes for) seven real bugs:
 //! spurious replica fallback and master log-probe under-estimation when a
 //! DHT get failed *operationally* (unreachable ≠ absent — the probe
 //! variant let a master re-grant a used timestamp and fork the log),
 //! single-message-loss neighbour eviction in the chord failure detector
 //! (a split ring view let two nodes accept writes for one key range),
 //! stale `last_ts` reads from a restored-but-unverified master entry
-//! (idle replicas never pulled post-takeover grants), and orphaned
+//! (idle replicas never pulled post-takeover grants), orphaned
 //! primary records stranded at nodes whose transient ring view collapsed
-//! (now re-homed by the replicate tick's orphan sweep).
-//!
-//! Known residual (seen roughly once per ~50 randomized full-size runs,
-//! never on the committed seeds): under churn, a *transiently*
-//! responsible joiner can grant a timestamp and die such that the
-//! long-term master keeps a once-verified entry that predates the grant
-//! — with no further writes to the key it serves the stale `last_ts` to
-//! anti-entropy reads indefinitely, and idle replicas stay one patch
-//! behind (continuity and total order still hold). A principled fix
-//! needs read-side freshness (per-key grant epochs in the records, or a
-//! re-probe TTL gated to not perturb clean runs).
+//! (now re-homed by the replicate tick's orphan sweep), an orphan
+//! re-home resolving back to its own holder and demoting the ring's only
+//! primary copy (the once-per-~50-churn-runs "idle replicas one patch
+//! stale" residual — readers now also send their own `known_ts` with
+//! `LastTs` so a stale-but-verified master entry re-probes instead of
+//! answering from memory), and a master re-granting a slot whose
+//! earlier publish died *partially written* — closed by grant fencing:
+//! every re-grant of a suspect slot happens under a strictly higher
+//! master epoch behind a quorum-acknowledged fence (see the
+//! `equivocation_free` / `epoch_monotonic` oracles and
+//! `tests/tests/grant_fence_sweep.rs`).
 
 use std::time::Instant;
 
@@ -198,6 +198,12 @@ pub struct ScenarioOutcome {
     pub total_order: bool,
     /// Convergence oracle (identical replicas at quiescence).
     pub converged: bool,
+    /// Equivocation oracle (no `(doc, ts)` slot holds two payloads
+    /// anywhere in the network — the dual-master detector).
+    pub equivocation_free: bool,
+    /// Epoch-monotonicity oracle (per replica, integrated master epochs
+    /// never regress).
+    pub epoch_monotonic: bool,
     /// Human-readable invariant detail line.
     pub detail: String,
 }
@@ -205,7 +211,11 @@ pub struct ScenarioOutcome {
 impl ScenarioOutcome {
     /// True when every invariant held.
     pub fn ok(&self) -> bool {
-        self.continuity && self.total_order && self.converged
+        self.continuity
+            && self.total_order
+            && self.converged
+            && self.equivocation_free
+            && self.epoch_monotonic
     }
 }
 
@@ -241,11 +251,35 @@ pub fn run_scenario_with_mode(
     seed: u64,
     mode: chord::ReplicationMode,
 ) -> ScenarioOutcome {
+    run_scenario_opts(sc, seed, mode, true)
+}
+
+/// [`run_scenario_with_mode`] with grant fencing switchable, so the
+/// benches can pin the pre-epoch legacy protocol (`fencing = false`)
+/// for byte-identity against historical baselines.
+pub fn run_scenario_opts(
+    sc: &Scenario,
+    seed: u64,
+    mode: chord::ReplicationMode,
+    fencing: bool,
+) -> ScenarioOutcome {
+    run_scenario_net(sc, seed, mode, fencing).0
+}
+
+/// [`run_scenario_opts`] returning the quiesced network alongside the
+/// outcome, so forensic tests can inspect events and storage after a run.
+pub fn run_scenario_net(
+    sc: &Scenario,
+    seed: u64,
+    mode: chord::ReplicationMode,
+    fencing: bool,
+) -> (ScenarioOutcome, LtrNet) {
     // detlint::allow(DET-CLOCK, wall-clock duration is reported alongside the outcome; it never feeds the simulation)
     let wall = Instant::now();
     let mut cfg = LtrConfig::default();
     cfg.log.replication = sc.replication;
     cfg.chord.replication_mode = mode;
+    cfg.kts.fencing = fencing;
 
     // Every peer journals: crashes scripted with `recover_after_secs`
     // restart from the journal (crash-with-disk), the rest rely on
@@ -404,7 +438,7 @@ pub fn run_scenario_with_mode(
 
     let report = check_all(&net.sim);
     let m = net.sim.metrics();
-    ScenarioOutcome {
+    let outcome = ScenarioOutcome {
         name: sc.name.to_string(),
         peers: sc.peers,
         sim_secs: net.now().since(t0).as_millis_f64() / 1e3,
@@ -422,8 +456,11 @@ pub fn run_scenario_with_mode(
         continuity: report.continuity.is_clean(),
         total_order: report.order.is_clean(),
         converged: report.convergence.is_converged(),
+        equivocation_free: report.equivocation.is_clean(),
+        epoch_monotonic: report.epochs.is_clean(),
         detail: report.summary(),
-    }
+    };
+    (outcome, net)
 }
 
 /// Run the simulation to `until`, paying any recovery that falls due on

@@ -53,7 +53,8 @@ FAULT_REQUIRED = [
     "name", "peers", "sim_secs", "wall_ms", "edits", "grants", "msgs",
     "events", "crashes", "restarts", "faults_dropped",
     "faults_duplicated", "faults_reordered", "faults_cut",
-    "continuity", "total_order", "converged", "pass",
+    "continuity", "total_order", "converged",
+    "equivocation_free", "epoch_monotonic", "pass",
 ]
 
 

@@ -11,11 +11,10 @@ use workload::scenario::{named_scenarios, run_scenario, run_scenario_with_mode, 
 /// The base moved from `0xFA_0000` when the default replication mode
 /// became Merkle-diff: the new message pattern reshuffles the per-message
 /// fault draws, and the old base landed `lossy_links` on a seed that
-/// trips a *pre-existing* dual-master grant window (see ROADMAP.md,
-/// "Known issues" — reproduce with `lossy_links` at seed `0xFA_0006` in
-/// Merkle mode, or `0xFA_0000` in legacy full-push mode on the prior
-/// commit). The matrix pins seeds where every scenario is green in both
-/// modes so it keeps its job: catching *regressions* deterministically.
+/// trips the dual-master grant window that grant fencing has since
+/// closed. Those once-red seeds are pinned below
+/// (`repro_dual_grant_seed_*`) as regressions, and the whole
+/// seed-neighbourhood is swept by `grant_fence_sweep.rs`.
 const SEED_BASE: u64 = 0xFA_0200;
 
 fn find(name: &str) -> (usize, Scenario) {
@@ -108,4 +107,36 @@ fn scenario_churn_under_load_fullpush() {
     let out = run_named_fullpush("churn_under_load");
     assert!(out.crashes > 0, "churn never crashed anyone: {out:?}");
     assert!(out.grants > 0);
+}
+
+/// Before grant fencing, `lossy_links` at seed `0xFA_0000` in legacy
+/// full-push mode ended with two different payloads stored for one
+/// `(doc, ts)` — a master re-granted a slot whose earlier publish had
+/// partially landed. The seed is pinned red-to-green: every oracle
+/// (including the equivocation and epoch-monotonicity detectors this
+/// seed used to trip) must now hold.
+#[test]
+fn repro_dual_grant_seed_fullpush() {
+    let (_, sc) = find("lossy_links");
+    let out = run_scenario_with_mode(&sc, 0xFA_0000, chord::ReplicationMode::FullPush);
+    assert!(
+        out.ok(),
+        "historic dual-grant seed 0xFA_0000 (full-push) regressed: {}",
+        out.detail
+    );
+    assert!(out.equivocation_free && out.epoch_monotonic);
+}
+
+/// The Merkle-mode twin of the repro above: seed `0xFA_0006` drove the
+/// same dual-grant window through the anti-entropy message pattern.
+#[test]
+fn repro_dual_grant_seed_merkle() {
+    let (_, sc) = find("lossy_links");
+    let out = run_scenario_with_mode(&sc, 0xFA_0006, chord::ReplicationMode::MerkleDiff);
+    assert!(
+        out.ok(),
+        "historic dual-grant seed 0xFA_0006 (merkle) regressed: {}",
+        out.detail
+    );
+    assert!(out.equivocation_free && out.epoch_monotonic);
 }
