@@ -85,7 +85,7 @@ pub fn ok(b: bool) -> String {
 /// canonical file order. `exp_perf` rewrites the whole file (scenarios +
 /// totals); each other harness replaces only its own section via
 /// [`merge_bench_section`], preserving the rest.
-pub const BENCH_SECTIONS: [&str; 2] = ["recovery", "faults"];
+pub const BENCH_SECTIONS: [&str; 3] = ["recovery", "faults", "net"];
 
 /// Replace (or append) the top-level `"<key>": { … }` section of the
 /// bench JSON at `path`, preserving the base document and every *other*

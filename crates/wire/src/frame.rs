@@ -19,6 +19,9 @@
 //! versions, and bodies that under- or over-run the declared length all
 //! return [`WireError`]s.
 
+use std::collections::VecDeque;
+
+use bytes::Bytes;
 use simnet::NodeId;
 
 use crate::codec::{Decode, Encode, Reader, WireError};
@@ -56,13 +59,23 @@ pub fn frame_len<M: Encode>(msg: &M) -> usize {
 /// Decode one complete frame (as produced by [`encode_frame`]) into
 /// `(sender, message)`. The buffer must contain exactly one frame.
 pub fn decode_frame<M: Decode>(frame: &[u8]) -> Result<(NodeId, M), WireError> {
-    let mut r = Reader::new(frame);
+    decode_framed(Reader::new(frame), frame.len())
+}
+
+/// [`decode_frame`] over a [`Bytes`] buffer: payload fields in the
+/// decoded message become **zero-copy slices** of `frame` instead of
+/// fresh allocations — the path the batch transports use.
+pub fn decode_frame_bytes<M: Decode>(frame: &Bytes) -> Result<(NodeId, M), WireError> {
+    decode_framed(Reader::with_backing(frame), frame.len())
+}
+
+fn decode_framed<M: Decode>(mut r: Reader<'_>, total: usize) -> Result<(NodeId, M), WireError> {
     let len = r.read_u32_le()? as usize;
     if len > MAX_FRAME_LEN {
         return Err(WireError::FrameTooLarge { len });
     }
-    if len != frame.len().saturating_sub(4) {
-        return Err(if len > frame.len().saturating_sub(4) {
+    if len != total.saturating_sub(4) {
+        return Err(if len > total.saturating_sub(4) {
             WireError::Truncated
         } else {
             WireError::TrailingBytes
@@ -129,6 +142,19 @@ impl FrameAssembler {
     /// bytes are needed, or an error for unrecoverable stream corruption
     /// (an oversized length prefix).
     pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        Ok(self.take_frame()?.map(|f| f.to_vec()))
+    }
+
+    /// [`FrameAssembler::next_frame`], yielding the frame as a [`Bytes`]
+    /// buffer ready for [`decode_frame_bytes`] (one copy out of the
+    /// stream buffer; payload decode then borrows it zero-copy).
+    pub fn next_frame_bytes(&mut self) -> Result<Option<Bytes>, WireError> {
+        Ok(self.take_frame()?.map(Bytes::copy_from_slice))
+    }
+
+    /// Locate the next complete frame in the buffer and consume it,
+    /// returning the borrowed frame bytes.
+    fn take_frame(&mut self) -> Result<Option<&[u8]>, WireError> {
         let avail = &self.buf[self.start..];
         let Some(len_bytes) = avail.first_chunk::<4>() else {
             return Ok(None);
@@ -137,12 +163,102 @@ impl FrameAssembler {
         if len > MAX_FRAME_LEN {
             return Err(WireError::FrameTooLarge { len });
         }
-        let Some(frame) = avail.get(..4 + len) else {
+        if avail.len() < 4 + len {
             return Ok(None);
-        };
-        let frame = frame.to_vec();
+        }
+        let at = self.start;
         self.start += 4 + len;
-        Ok(Some(frame))
+        Ok(Some(&self.buf[at..at + 4 + len]))
+    }
+}
+
+/// [`FrameAssembler`]'s zero-copy sibling for transports that read into
+/// owned buffers: push each socket read as an owned [`Bytes`] chunk; a
+/// frame lying entirely inside one chunk comes back as a **slice of
+/// it** — no copy, no per-frame allocation, the event-loop runtime's
+/// receive hot path — and only the rare frame spanning a chunk boundary
+/// is stitched together through one copy.
+///
+/// A returned frame keeps its whole backing chunk alive (the cost of
+/// sharing); consumers that retain frames long-term should copy them
+/// out.
+#[derive(Debug, Default)]
+pub struct BytesAssembler {
+    /// Unconsumed chunks, in arrival order; the front one may already be
+    /// narrowed past frames handed out earlier.
+    chunks: VecDeque<Bytes>,
+    /// Total unconsumed bytes across `chunks`.
+    avail: usize,
+}
+
+impl BytesAssembler {
+    /// Fresh empty assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one owned chunk read from the stream.
+    pub fn push(&mut self, chunk: Bytes) {
+        if !chunk.is_empty() {
+            self.avail += chunk.len();
+            self.chunks.push_back(chunk);
+        }
+    }
+
+    /// Pop the next complete frame (header included), `Ok(None)` when
+    /// more bytes are needed, or an error for unrecoverable stream
+    /// corruption (an oversized length prefix).
+    pub fn next_frame(&mut self) -> Result<Option<Bytes>, WireError> {
+        if self.avail < 4 {
+            return Ok(None);
+        }
+        // The length prefix itself may span chunks: peek it bytewise.
+        let mut len_bytes = [0u8; 4];
+        let mut filled = 0;
+        'peek: for chunk in &self.chunks {
+            for &b in chunk.iter() {
+                if filled == 4 {
+                    break 'peek;
+                }
+                len_bytes[filled] = b;
+                filled += 1;
+            }
+        }
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(WireError::FrameTooLarge { len });
+        }
+        let total = 4 + len;
+        if self.avail < total {
+            return Ok(None);
+        }
+        self.avail -= total;
+        if let Some(front) = self.chunks.front_mut() {
+            if front.len() > total {
+                let frame = front.slice(0..total);
+                *front = front.slice(total..);
+                return Ok(Some(frame));
+            }
+            if front.len() == total {
+                return Ok(self.chunks.pop_front());
+            }
+        }
+        // The frame spans chunks: stitch it together with one copy.
+        let mut out = Vec::with_capacity(total);
+        while let Some(chunk) = self.chunks.pop_front() {
+            let take = (total - out.len()).min(chunk.len());
+            if let Some(part) = chunk.as_ref().get(..take) {
+                out.extend_from_slice(part);
+            }
+            if take < chunk.len() {
+                self.chunks.push_front(chunk.slice(take..));
+            }
+            if out.len() == total {
+                break;
+            }
+        }
+        debug_assert_eq!(out.len(), total);
+        Ok(Some(Bytes::from(out)))
     }
 }
 
@@ -209,6 +325,84 @@ mod tests {
         }
         assert_eq!(got, frames);
         assert_eq!(asm.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn bytes_decode_is_zero_copy_for_payloads() {
+        let payload = Bytes::from(vec![7u8; 32]);
+        let frame = Bytes::from(encode_frame(NodeId(3), &payload));
+        let (from, got): (NodeId, Bytes) = decode_frame_bytes(&frame).unwrap();
+        assert_eq!(from, NodeId(3));
+        assert_eq!(got, payload);
+        // The decoded payload borrows the frame's allocation.
+        assert_eq!(
+            got.as_ref().as_ptr(),
+            frame[frame.len() - payload.len()..].as_ptr()
+        );
+    }
+
+    #[test]
+    fn assembler_bytes_path_matches_vec_path() {
+        let frames: Vec<Vec<u8>> = (0..8u64).map(|i| encode_frame(NodeId(1), &i)).collect();
+        let stream: Vec<u8> = frames.iter().flatten().copied().collect();
+        let mut asm = FrameAssembler::new();
+        asm.push(&stream);
+        for want in &frames {
+            let got = asm.next_frame_bytes().unwrap().expect("complete frame");
+            assert_eq!(got.as_ref(), want.as_slice());
+        }
+        assert_eq!(asm.next_frame_bytes().unwrap(), None);
+    }
+
+    #[test]
+    fn bytes_assembler_slices_within_chunk_zero_copy() {
+        let frames: Vec<Vec<u8>> = (0..3u64).map(|i| encode_frame(NodeId(1), &i)).collect();
+        let stream: Vec<u8> = frames.iter().flatten().copied().collect();
+        let chunk = Bytes::from(stream);
+        let base = chunk.as_ref().as_ptr() as usize;
+        let end = base + chunk.len();
+        let mut asm = BytesAssembler::new();
+        asm.push(chunk);
+        for want in &frames {
+            let got = asm.next_frame().unwrap().expect("complete frame");
+            assert_eq!(got.as_ref(), want.as_slice());
+            // Zero-copy: the frame points into the pushed chunk.
+            let p = got.as_ref().as_ptr() as usize;
+            assert!(p >= base && p + got.len() <= end, "frame borrows the chunk");
+        }
+        assert_eq!(asm.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn bytes_assembler_matches_vec_assembler_on_any_chunking() {
+        let frames: Vec<Vec<u8>> = (0..10u64).map(|i| encode_frame(NodeId(2), &i)).collect();
+        let stream: Vec<u8> = frames.iter().flatten().copied().collect();
+        for chunk in [1usize, 2, 3, 5, 7, 11, stream.len()] {
+            let mut asm = BytesAssembler::new();
+            let mut got = Vec::new();
+            for piece in stream.chunks(chunk) {
+                asm.push(Bytes::from(piece.to_vec()));
+                while let Some(f) = asm.next_frame().unwrap() {
+                    got.push(f.to_vec());
+                }
+            }
+            assert_eq!(got, frames, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn bytes_assembler_rejects_oversized_prefix() {
+        let mut frame = encode_frame(NodeId(1), &7u64);
+        frame[..4].copy_from_slice(&(u32::MAX).to_le_bytes());
+        let mut asm = BytesAssembler::new();
+        // Split mid-prefix so the peek itself has to span chunks.
+        asm.push(Bytes::from(frame[..2].to_vec()));
+        assert_eq!(asm.next_frame().unwrap(), None);
+        asm.push(Bytes::from(frame[2..].to_vec()));
+        assert!(matches!(
+            asm.next_frame(),
+            Err(WireError::FrameTooLarge { .. })
+        ));
     }
 
     #[test]

@@ -13,10 +13,13 @@
 //! * **length-prefixed frames** ([`frame`]) carrying a version byte and
 //!   the sender address, with a [`FrameAssembler`] that re-frames
 //!   arbitrary stream chunkings;
-//! * a [`Transport`] trait with two endpoints — in-process queues
-//!   ([`MemHub`]) and **threaded loopback TCP** ([`TcpHub`]) — plus the
-//!   [`WireNet`] runner that drives unmodified [`simnet::Process`] state
-//!   machines over either, in real time;
+//! * a batch- and readiness-oriented [`Transport`] trait with three
+//!   endpoints — in-process bounded queues ([`MemHub`]), the threaded
+//!   loopback-TCP baseline ([`TcpHub`]), and the non-blocking
+//!   **event-loop runtime** ([`RtHub`], [`runtime`]) with connection
+//!   multiplexing, write batching and bounded backpressured queues —
+//!   plus the [`WireNet`] runner that drives unmodified
+//!   [`simnet::Process`] state machines over any of them, in real time;
 //! * total decoding: malformed input of any kind (truncation, corruption,
 //!   hostile length prefixes, unknown tags/versions) yields a
 //!   [`WireError`], never a panic and never an oversized allocation.
@@ -32,14 +35,18 @@ pub mod codec;
 pub mod frame;
 pub mod proto;
 pub mod runner;
+pub mod runtime;
 pub mod transport;
 pub mod varint;
 
 pub use codec::{Decode, Encode, Reader, WireError};
 pub use frame::{
-    decode_frame, encode_frame, frame_len, FrameAssembler, FRAME_HEADER_LEN, MAX_FRAME_LEN,
-    WIRE_VERSION,
+    decode_frame, decode_frame_bytes, encode_frame, frame_len, BytesAssembler, FrameAssembler,
+    FRAME_HEADER_LEN, MAX_FRAME_LEN, WIRE_VERSION,
 };
 pub use proto::{chord_class, kts_class};
 pub use runner::WireNet;
-pub use transport::{MemHub, MemTransport, TcpHub, TcpTransport, Transport, TransportError};
+pub use runtime::{RtHub, RtTransport, RuntimeConfig};
+pub use transport::{
+    MemHub, MemTransport, Readiness, TcpHub, TcpTransport, Transport, TransportError,
+};

@@ -15,17 +15,55 @@
 //! detlint::allow-file(DET-CLOCK, this module IS the real-time harness — wall time is its contract and never feeds back into simulator runs)
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeMap, BinaryHeap, HashSet, VecDeque};
 use std::time::Instant;
 
+use bytes::Bytes;
 use simnet::{CounterId, Ctx, Effects, Metrics, NodeId, ProcessAny, Rng64, Time, TimerId};
 
 use crate::codec::{Decode, Encode};
-use crate::frame::{decode_frame, encode_frame};
-use crate::transport::Transport;
+use crate::frame::{decode_frame_bytes, encode_frame};
+use crate::transport::{Transport, TransportError};
 
 /// One armed timer: fires at `at`, insertion-ordered within an instant.
 type TimerEntry = Reverse<(Time, u64, u64, TimerId)>; // (at, seq, tag, id)
+
+/// Frames a slot may hold back for retry after backpressure before it
+/// starts dropping (the loss model of a full NIC queue).
+const PENDING_CAP: usize = 16 * 1024;
+
+/// Max frames pulled per `recv_batch` call while pumping.
+const RECV_CHUNK: usize = 256;
+
+/// Per-class transport send-failure counters, pre-registered at slot
+/// creation: one `wire.send_err.<class>` counter per
+/// [`TransportError`] class (see [`TransportError::class`]).
+struct SendErrCounters {
+    unknown_peer: CounterId,
+    backpressure: CounterId,
+    disconnected: CounterId,
+    io: CounterId,
+}
+
+impl SendErrCounters {
+    fn register(metrics: &mut Metrics) -> Self {
+        SendErrCounters {
+            unknown_peer: metrics.register_counter("wire.send_err.unknown_peer"),
+            backpressure: metrics.register_counter("wire.send_err.backpressure"),
+            disconnected: metrics.register_counter("wire.send_err.disconnected"),
+            io: metrics.register_counter("wire.send_err.io"),
+        }
+    }
+
+    fn id_for(&self, e: &TransportError) -> CounterId {
+        match e {
+            TransportError::UnknownPeer(_) => self.unknown_peer,
+            TransportError::Backpressure => self.backpressure,
+            TransportError::Disconnected(_) => self.disconnected,
+            TransportError::Io(_) => self.io,
+        }
+    }
+}
 
 struct WireSlot<M> {
     me: NodeId,
@@ -34,8 +72,14 @@ struct WireSlot<M> {
     rng: Rng64,
     metrics: Metrics,
     /// Transport failure counters, pre-registered at slot creation.
-    send_errors: CounterId,
+    send_errors: SendErrCounters,
     decode_errors: CounterId,
+    /// Encoded frames awaiting (re)delivery, in per-destination order.
+    /// Backpressured destinations park their frames here until the next
+    /// pump; non-retryable failures drop them (the sim's loss model).
+    pending: VecDeque<(NodeId, Bytes)>,
+    /// Reusable receive scratch for `recv_batch`.
+    recv_buf: Vec<Bytes>,
     timer_seq: u64,
     seq: u64,
     timers: BinaryHeap<TimerEntry>,
@@ -96,6 +140,21 @@ impl<M: Encode + Decode + 'static> WireNet<M> {
         ))
     }
 
+    /// Build over the non-blocking event-loop runtime
+    /// ([`RtHub`](crate::RtHub)): one socket pair per talking peer pair,
+    /// write batching, bounded queues — `cfg` tunes all of it.
+    pub fn runtime_tcp(seed: u64, cfg: crate::RuntimeConfig) -> std::io::Result<Self> {
+        let hub = crate::RtHub::with_config(cfg);
+        let make = hub.clone();
+        Ok(Self::new(
+            seed,
+            Box::new(move |me| {
+                Box::new(make.endpoint(me).expect("bind loopback listener")) as Box<dyn Transport>
+            }),
+            Box::new(move |to, frame| hub.send(to, frame)),
+        ))
+    }
+
     /// Wall-clock time since construction, as the virtual clock the
     /// processes see.
     pub fn now(&self) -> Time {
@@ -108,7 +167,7 @@ impl<M: Encode + Decode + 'static> WireNet<M> {
         let me = NodeId(self.slots.len() as u32);
         let transport = (self.endpoint_for)(me);
         let mut metrics = Metrics::new();
-        let send_errors = metrics.register_counter("wire.send_errors");
+        let send_errors = SendErrCounters::register(&mut metrics);
         let decode_errors = metrics.register_counter("wire.decode_errors");
         self.slots.push(WireSlot {
             me,
@@ -118,6 +177,8 @@ impl<M: Encode + Decode + 'static> WireNet<M> {
             metrics,
             send_errors,
             decode_errors,
+            pending: VecDeque::new(),
+            recv_buf: Vec::new(),
             timer_seq: 0,
             seq: 0,
             timers: BinaryHeap::new(),
@@ -136,6 +197,7 @@ impl<M: Encode + Decode + 'static> WireNet<M> {
         slot.proc.on_start(&mut ctx);
         let eff = ctx.take_effects();
         Self::apply_effects(slot, now, eff);
+        Self::flush_pending(slot);
         me
     }
 
@@ -192,19 +254,20 @@ impl<M: Encode + Decode + 'static> WireNet<M> {
         slot.proc.on_start(&mut ctx);
         let eff = ctx.take_effects();
         Self::apply_effects(slot, now, eff);
+        Self::flush_pending(slot);
     }
 
     fn apply_effects(slot: &mut WireSlot<M>, now: Time, eff: Effects<M>) {
         for (to, msg) in eff.msgs {
-            // A frame the transport cannot deliver right now is a dropped
-            // packet — exactly the simulator's loss model. Count it.
-            if slot
-                .transport
-                .send(to, &encode_frame(slot.me, &msg))
-                .is_err()
-            {
-                slot.metrics.incr_id(slot.send_errors);
+            if slot.pending.len() >= PENDING_CAP {
+                // The retry queue is the NIC queue: full means this frame
+                // is a dropped packet — exactly the simulator's loss
+                // model. Count it and move on.
+                slot.metrics.incr_id(slot.send_errors.backpressure);
+                continue;
             }
+            slot.pending
+                .push_back((to, Bytes::from(encode_frame(slot.me, &msg))));
         }
         for (id, delay, tag) in eff.timers {
             slot.seq += 1;
@@ -218,33 +281,88 @@ impl<M: Encode + Decode + 'static> WireNet<M> {
         }
     }
 
-    /// Pump every node once: drain inbound frames, fire due timers.
+    /// Hand pending frames to the transport in per-destination batches.
+    /// Backpressured remainders stay parked for the next pump;
+    /// non-retryable failures drop their frames (dropped packets, the
+    /// sim's loss model), each failure counted under its error class.
+    fn flush_pending(slot: &mut WireSlot<M>) {
+        if slot.pending.is_empty() {
+            return;
+        }
+        let mut batches: BTreeMap<NodeId, Vec<Bytes>> = BTreeMap::new();
+        for (to, frame) in slot.pending.drain(..) {
+            batches.entry(to).or_default().push(frame);
+        }
+        for (to, mut frames) in batches {
+            let mut sent = 0;
+            while sent < frames.len() {
+                match slot.transport.send_batch(to, &frames[sent..]) {
+                    Ok(n) => {
+                        sent += n;
+                        if sent < frames.len() {
+                            // Partial accept: the outbound ring filled.
+                            slot.metrics.incr_id(slot.send_errors.backpressure);
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        slot.metrics.incr_id(slot.send_errors.id_for(&e));
+                        if !e.retryable() {
+                            frames.truncate(sent); // Drop the remainder.
+                        }
+                        break;
+                    }
+                }
+            }
+            for frame in frames.drain(sent..) {
+                slot.pending.push_back((to, frame));
+            }
+        }
+    }
+
+    /// Pump every node once: run one transport I/O rotation, retry parked
+    /// frames, drain inbound frames, fire due timers, then flush what the
+    /// handlers produced as batches.
     /// Returns the number of upcalls dispatched (0 = idle).
     pub fn pump(&mut self) -> usize {
         let now = self.now();
         let mut dispatched = 0;
         for slot in &mut self.slots {
-            // Inbound frames.
-            while let Some(frame) = slot.transport.try_recv() {
-                if slot.halted {
-                    continue; // Departed nodes silently drop, as in the sim.
+            // One non-blocking I/O rotation (accept/flush/read for the
+            // event-loop runtime, a no-op for the threaded transports),
+            // then retry anything parked by earlier backpressure.
+            slot.transport.poll(std::time::Duration::ZERO);
+            Self::flush_pending(slot);
+            // Inbound frames, drained in batches.
+            loop {
+                let mut buf = std::mem::take(&mut slot.recv_buf);
+                buf.clear();
+                let n = slot.transport.recv_batch(&mut buf, RECV_CHUNK);
+                for frame in buf.drain(..) {
+                    if slot.halted {
+                        continue; // Departed nodes silently drop, as in the sim.
+                    }
+                    let Ok((from, msg)) = decode_frame_bytes::<M>(&frame) else {
+                        // A malformed frame must never take the node down.
+                        slot.metrics.incr_id(slot.decode_errors);
+                        continue;
+                    };
+                    let mut ctx = Ctx::detached(
+                        now,
+                        slot.me,
+                        &mut slot.rng,
+                        &mut slot.metrics,
+                        &mut slot.timer_seq,
+                    );
+                    slot.proc.on_message(&mut ctx, from, msg);
+                    let eff = ctx.take_effects();
+                    Self::apply_effects(slot, now, eff);
+                    dispatched += 1;
                 }
-                let Ok((from, msg)) = decode_frame::<M>(&frame) else {
-                    // A malformed frame must never take the node down.
-                    slot.metrics.incr_id(slot.decode_errors);
-                    continue;
-                };
-                let mut ctx = Ctx::detached(
-                    now,
-                    slot.me,
-                    &mut slot.rng,
-                    &mut slot.metrics,
-                    &mut slot.timer_seq,
-                );
-                slot.proc.on_message(&mut ctx, from, msg);
-                let eff = ctx.take_effects();
-                Self::apply_effects(slot, now, eff);
-                dispatched += 1;
+                slot.recv_buf = buf;
+                if n < RECV_CHUNK {
+                    break;
+                }
             }
             // Due timers.
             while let Some(&Reverse((at, _, _, _))) = slot.timers.peek() {
@@ -267,16 +385,38 @@ impl<M: Encode + Decode + 'static> WireNet<M> {
                 Self::apply_effects(slot, now, eff);
                 dispatched += 1;
             }
+            // Everything the handlers queued this pump goes out as one
+            // batched flush per destination.
+            Self::flush_pending(slot);
         }
         dispatched
     }
 
-    /// Pump for `d` wall-clock time, sleeping briefly when idle.
+    /// Park until an endpoint reports inbound readiness or `budget`
+    /// elapses. The wait is delegated to the transports' `poll` — the
+    /// event-loop runtime turns it into I/O rotations, the queue
+    /// transports into a bounded block on their channel — instead of the
+    /// runner spin-sleeping blind.
+    fn idle_wait(&mut self, budget: std::time::Duration) {
+        if self.slots.is_empty() {
+            std::thread::sleep(budget);
+            return;
+        }
+        let slice = (budget / self.slots.len() as u32).max(std::time::Duration::from_micros(100));
+        for slot in &mut self.slots {
+            if slot.transport.poll(slice).readable {
+                return;
+            }
+        }
+    }
+
+    /// Pump for `d` wall-clock time, parking on transport readiness when
+    /// idle.
     pub fn run_for(&mut self, d: std::time::Duration) {
         let deadline = Instant::now() + d;
         while Instant::now() < deadline {
             if self.pump() == 0 {
-                std::thread::sleep(std::time::Duration::from_micros(500));
+                self.idle_wait(std::time::Duration::from_micros(500));
             }
         }
     }
@@ -297,7 +437,7 @@ impl<M: Encode + Decode + 'static> WireNet<M> {
                 return false;
             }
             if self.pump() == 0 {
-                std::thread::sleep(std::time::Duration::from_micros(500));
+                self.idle_wait(std::time::Duration::from_micros(500));
             }
         }
     }
@@ -400,6 +540,29 @@ mod tests {
     #[test]
     fn ping_pong_loopback_tcp() {
         ping_pong_over(WireNet::loopback_tcp(1).unwrap());
+    }
+
+    #[test]
+    fn ping_pong_runtime_tcp() {
+        ping_pong_over(WireNet::runtime_tcp(1, crate::RuntimeConfig::new()).unwrap());
+    }
+
+    #[test]
+    fn send_errors_are_counted_per_class() {
+        let mut net = WireNet::<Msg>::in_process(3);
+        // Echo pings a peer that was never added: every tick is an
+        // UnknownPeer drop, counted under its own class.
+        let a = net.add_node(Echo {
+            pongs: 0,
+            ticks: 0,
+            peer: Some(NodeId(99)),
+        });
+        assert!(net.run_until(std::time::Duration::from_secs(10), |n| {
+            n.metrics(a).counter("wire.send_err.unknown_peer") == 5
+        }));
+        assert_eq!(net.metrics(a).counter("wire.send_err.backpressure"), 0);
+        assert_eq!(net.metrics(a).counter("wire.send_err.disconnected"), 0);
+        assert_eq!(net.metrics(a).counter("wire.send_err.io"), 0);
     }
 
     #[test]

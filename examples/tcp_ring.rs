@@ -2,10 +2,11 @@
 //! tentpole's end-to-end proof, plus the durable store's recovery drill.
 //!
 //! The exact `LtrNode` state machines that run on the deterministic
-//! simulator are driven here by `wire::WireNet` over the threaded
-//! loopback-TCP transport: every Chord/KTS message is encoded through the
-//! versioned binary codec, framed, written to a socket, re-framed and
-//! decoded on the far side. The scenario — open a shared page on three
+//! simulator are driven here by `wire::WireNet` over the non-blocking
+//! event-loop runtime (`wire::RtHub`): every Chord/KTS message is encoded
+//! through the versioned binary codec, framed, batched into a per-peer
+//! write ring, written to a socket, re-framed and decoded on the far
+//! side. The scenario — open a shared page on three
 //! peers, two stamped edits from different peers, reconcile — is then
 //! replayed on `simnet`, and the final document state must be identical.
 //!
@@ -23,7 +24,7 @@ use p2p_ltr::harness::LtrNet;
 use p2p_ltr::{LtrConfig, LtrNode, Payload, UserCmd};
 use simnet::{Duration, NetConfig, NodeId};
 use store::{FileStore, RecoveredState, StoreConfig};
-use wire::WireNet;
+use wire::{RuntimeConfig, WireNet};
 
 use chord::{Id, NodeRef};
 
@@ -75,7 +76,8 @@ fn run_simnet() -> String {
 
 /// The same protocol, over sockets and wall-clock time.
 fn run_tcp() -> String {
-    let mut net: WireNet<Payload> = WireNet::loopback_tcp(42).expect("bind loopback listeners");
+    let mut net: WireNet<Payload> =
+        WireNet::runtime_tcp(42, RuntimeConfig::new()).expect("bind loopback listeners");
     let first = peer_ref(0);
     for i in 0..PEERS {
         let me = peer_ref(i);
@@ -164,7 +166,8 @@ fn run_tcp_recovery() {
     };
     let store_dir = |i: usize| base.join(format!("peer-{i}"));
 
-    let mut net: WireNet<Payload> = WireNet::loopback_tcp(42).expect("bind loopback listeners");
+    let mut net: WireNet<Payload> =
+        WireNet::runtime_tcp(42, RuntimeConfig::new()).expect("bind loopback listeners");
     let first = peer_ref(0);
     for i in 0..PEERS {
         let me = peer_ref(i);

@@ -28,6 +28,8 @@ NONDETERMINISTIC = {
     "wall_ms", "write_ms", "open_ms", "rebuild_ms", "recover_ms",
     "ops_per_sec", "msgs_per_sec", "events_per_sec",
     "replay_entries_per_sec",
+    # The whole net section is measured over real sockets and wall time.
+    "net",
 }
 
 SCENARIO_REQUIRED = [
@@ -47,6 +49,11 @@ SWEEP_REQUIRED = [
 E2E_REQUIRED = [
     "peers", "grants_before_crash", "grants_total",
     "restart_entries", "recover_ms", "continuity", "converged",
+]
+
+NET_PHASE_REQUIRED = [
+    "offered_rate", "secs", "achieved_rate", "send_p50_us", "send_p99_us",
+    "recv_p50_us", "recv_p99_us", "backpressure_stalls", "slo_ok",
 ]
 
 FAULT_REQUIRED = [
@@ -160,6 +167,46 @@ def check_schema(data):
           f"+ faults ({len(faults['scenarios'])} scenarios)")
 
 
+def check_net(data, required):
+    """Validate the ``net`` section (exp_net) when present: both
+    transport rows exist, every phase carries its fields, the runtime met
+    its SLOs, and it sustained >= 2x the threaded baseline."""
+    net = data.get("net")
+    if net is None:
+        if required:
+            fail("missing net section (run exp_net)")
+        print("net section absent (exp_net not run) — skipping")
+        return
+    if net.get("peers", 0) < 2 or not net.get("frame_mix_bytes"):
+        fail(f"net: implausible topology {net.get('peers')} peers, "
+             f"mix {net.get('frame_mix_bytes')}")
+    rows = {t.get("transport"): t for t in net.get("transports", [])}
+    for name in ("runtime", "tcphub"):
+        row = rows.get(name)
+        if row is None:
+            fail(f"net: missing transport row {name!r}")
+        if row.get("saturation_msgs_per_sec", 0) <= 0:
+            fail(f"net: {name} recorded no saturation throughput")
+        if not row.get("phases"):
+            fail(f"net: {name} has no rated phases")
+        for ph in row["phases"]:
+            for key in NET_PHASE_REQUIRED:
+                if key not in ph:
+                    fail(f"net: {name} phase missing {key}")
+    for ph in rows["runtime"]["phases"]:
+        if ph["slo_ok"] is not True:
+            fail(f"net: runtime missed its SLO at "
+                 f"{ph['offered_rate']} msgs/s: {ph}")
+    if net.get("slo_ok") is not True:
+        fail("net: runtime SLO verdict is not true")
+    speedup = net.get("speedup_vs_tcphub", 0)
+    if speedup < 2.0:
+        fail(f"net: runtime speedup {speedup} below the 2.0x gate")
+    print(f"net OK: runtime {rows['runtime']['saturation_msgs_per_sec']:.0f} "
+          f"msgs/s vs tcphub {rows['tcphub']['saturation_msgs_per_sec']:.0f} "
+          f"({speedup:.2f}x), SLOs met")
+
+
 def det_view(obj):
     """Strip wall-clock-dependent fields, recursively."""
     if isinstance(obj, dict):
@@ -206,10 +253,13 @@ def main():
     ap.add_argument("--baseline",
                     help="committed baseline to compare deterministic "
                          "fields against")
+    ap.add_argument("--require-net", action="store_true",
+                    help="fail when the net section (exp_net) is absent")
     args = ap.parse_args()
     with open(args.bench) as f:
         data = json.load(f)
     check_schema(data)
+    check_net(data, args.require_net)
     if args.baseline:
         with open(args.baseline) as f:
             baseline = json.load(f)

@@ -22,7 +22,14 @@ pub struct Bytes {
 #[derive(Clone)]
 enum Inner {
     Static(&'static [u8]),
-    Shared(Arc<Vec<u8>>),
+    /// A window (`off..off + len`) into a shared allocation. Slicing
+    /// narrows the window without copying, matching the real crate's
+    /// zero-copy contract.
+    Shared {
+        buf: Arc<Vec<u8>>,
+        off: usize,
+        len: usize,
+    },
 }
 
 impl Bytes {
@@ -42,9 +49,7 @@ impl Bytes {
 
     /// Creates `Bytes` by copying the given slice.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes {
-            inner: Inner::Shared(Arc::new(data.to_vec())),
-        }
+        Bytes::from(data.to_vec())
     }
 
     /// Returns the number of bytes in the buffer.
@@ -62,7 +67,10 @@ impl Bytes {
         self.as_slice().to_vec()
     }
 
-    /// Returns a sub-slice of the buffer as a new `Bytes` (copying).
+    /// Returns a sub-slice of the buffer as a new `Bytes` **without
+    /// copying**: the result shares the underlying allocation (or static
+    /// data) and only narrows the visible window. Panics when the range
+    /// is out of bounds, like slice indexing.
     pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Self {
         use std::ops::Bound;
         let len = self.len();
@@ -76,13 +84,25 @@ impl Bytes {
             Bound::Excluded(&n) => n,
             Bound::Unbounded => len,
         };
-        Bytes::copy_from_slice(&self.as_slice()[start..end])
+        assert!(start <= end && end <= len, "slice {start}..{end} of {len}");
+        match &self.inner {
+            Inner::Static(s) => Bytes {
+                inner: Inner::Static(&s[start..end]),
+            },
+            Inner::Shared { buf, off, .. } => Bytes {
+                inner: Inner::Shared {
+                    buf: buf.clone(),
+                    off: off + start,
+                    len: end - start,
+                },
+            },
+        }
     }
 
     fn as_slice(&self) -> &[u8] {
         match &self.inner {
             Inner::Static(s) => s,
-            Inner::Shared(v) => v.as_slice(),
+            Inner::Shared { buf, off, len } => &buf[*off..*off + *len],
         }
     }
 }
@@ -114,8 +134,13 @@ impl Borrow<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
+        let len = v.len();
         Bytes {
-            inner: Inner::Shared(Arc::new(v)),
+            inner: Inner::Shared {
+                buf: Arc::new(v),
+                off: 0,
+                len,
+            },
         }
     }
 }
@@ -243,6 +268,25 @@ mod tests {
         let a = Bytes::from(vec![1, 2, 3, 4]);
         assert_eq!(a.slice(1..3), Bytes::from(vec![2, 3]));
         assert_eq!(a.slice(..), a);
+    }
+
+    #[test]
+    fn slicing_is_zero_copy() {
+        let a = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let s = a.slice(2..4);
+        assert_eq!(s, Bytes::from(vec![3, 4]));
+        // The slice points into the parent's allocation, not a copy.
+        assert_eq!(s.as_ref().as_ptr(), a[2..].as_ptr());
+        let nested = s.slice(1..2);
+        assert_eq!(nested, Bytes::from(vec![4]));
+        assert_eq!(nested.as_ref().as_ptr(), a[3..].as_ptr());
+    }
+
+    #[test]
+    #[should_panic]
+    fn slicing_out_of_bounds_panics() {
+        let a = Bytes::from(vec![1, 2, 3]);
+        let _ = a.slice(1..5);
     }
 
     #[test]
